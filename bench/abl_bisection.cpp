@@ -1,0 +1,40 @@
+// Ablation: estimated bisection width of the compared topologies — the
+// throughput-scalability axis that complements the latency results of the
+// paper (cf. Jellyfish's random-graph argument).
+#include <iostream>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/common/cli.hpp"
+#include "dsn/common/table.hpp"
+#include "dsn/graph/bisection.hpp"
+
+int main(int argc, char** argv) {
+  dsn::Cli cli("Ablation: estimated bisection width (KL-refined upper bound).");
+  cli.add_flag("sizes", "64,128,256,512", "comma-separated switch counts");
+  cli.add_flag("seed", "1", "seed");
+  cli.add_flag("starts", "4", "random KL starts per estimate");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = cli.get_uint("seed");
+  const auto starts = static_cast<int>(cli.get_uint("starts"));
+
+  dsn::Table table({"N", "topology", "bisection links", "links/node-pair",
+                    "per-node"});
+  for (const auto size : cli.get_uint_list("sizes")) {
+    const auto n = static_cast<std::uint32_t>(size);
+    for (const std::string family : {"torus", "random", "dsn", "dsn-bidir", "ring"}) {
+      const dsn::Topology topo = dsn::make_topology_by_name(family, n, seed);
+      const auto r = dsn::estimate_bisection(topo.graph, seed, starts);
+      table.row()
+          .cell(size)
+          .cell(family)
+          .cell(r.cut_links)
+          .cell(static_cast<double>(r.cut_links) /
+                    static_cast<double>(topo.graph.num_links()),
+                3)
+          .cell(r.per_node(), 3);
+    }
+  }
+  table.print(std::cout, "Estimated bisection width (upper bound via Kernighan-Lin)");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Google-benchmark microbenchmark: simulator throughput in simulated cycles
+// per second at a moderate load on the paper's 64-switch configuration.
+#include <benchmark/benchmark.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
+
+namespace {
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const auto topo = dsn::make_topology_by_name("dsn", 64);
+  dsn::SimRouting routing(topo);
+  dsn::AdaptiveUpDownPolicy policy(routing, 4);
+  dsn::UniformTraffic traffic(64 * 4);
+  dsn::SimConfig cfg;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = static_cast<std::uint64_t>(state.range(0));
+  cfg.drain_cycles = 20'000;
+  cfg.offered_gbps_per_host = 4.0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto res = dsn::run_simulation(topo, policy, traffic, cfg);
+    benchmark::DoNotOptimize(res.avg_latency_ns);
+    cycles += res.cycles_run;
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Quickstart: build a DSN, inspect its structure, route a packet with the
+// custom algorithm, and compare graph metrics against a torus and the
+// DLN-2-2 random baseline.
+//
+//   ./examples/example_quickstart [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "dsn/analysis/experiments.hpp"
+#include "dsn/analysis/factory.hpp"
+#include "dsn/common/table.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/topology/dsn.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+
+  // 1. Build the basic DSN-x topology with the paper's default x = p-1.
+  dsn::Dsn dsn_net(n, dsn::dsn_default_x(n));
+  std::cout << "DSN-" << dsn_net.x() << "-" << dsn_net.n() << ": p = " << dsn_net.p()
+            << " (super-node size), r = " << dsn_net.r() << " (remainder)\n";
+  std::cout << "links: " << dsn_net.topology().graph.num_links()
+            << ", avg degree: " << dsn_net.topology().graph.average_degree() << "\n\n";
+
+  // 2. Route a packet with the three-phase custom routing (Fig. 2).
+  dsn::DsnRouter router(dsn_net);
+  const dsn::Route route = router.route(3, n - 5);
+  std::cout << "custom route 3 -> " << n - 5 << " (" << route.length() << " hops):\n  ";
+  for (const auto& hop : route.hops) {
+    const char* phase = hop.phase == dsn::RoutePhase::kPreWork  ? "pre"
+                        : hop.phase == dsn::RoutePhase::kMain ? "main"
+                                                              : "fin";
+    std::cout << hop.from << " -[" << phase << "]-> ";
+  }
+  std::cout << route.dst << "\n\n";
+
+  // 3. Compare against the paper's counterparts.
+  dsn::Table table({"topology", "diameter", "avg shortest path", "avg cable (m)",
+                    "avg degree"});
+  for (const auto& family : dsn::paper_topology_trio()) {
+    const auto topo = dsn::make_topology_by_name(family, n);
+    const auto pt = dsn::evaluate_topology(topo);
+    table.row()
+        .cell(family)
+        .cell(static_cast<std::uint64_t>(pt.diameter))
+        .cell(pt.aspl)
+        .cell(pt.avg_cable_m)
+        .cell(pt.avg_degree);
+  }
+  table.print(std::cout, "DSN vs torus vs RANDOM at n = " + std::to_string(n));
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "dsn/analysis/factory.hpp"
+
+#include "dsn/common/math.hpp"
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+
+Topology make_topology_by_name(const std::string& name, std::uint32_t n,
+                               std::uint64_t seed) {
+  if (name == "dsn") return make_dsn(n, dsn_default_x(n));
+  if (name == "torus") return make_torus_2d_near_square(n);
+  if (name == "torus3d") return make_torus_3d_near_cube(n);
+  if (name == "random") return make_dln_random(n, 2, 2, seed);
+  if (name == "ring") return make_ring(n);
+  if (name == "dln") return make_dln(n, ilog2_ceil(n));
+  if (name == "kleinberg") {
+    const auto side = static_cast<std::uint32_t>(isqrt(n));
+    DSN_REQUIRE(side * side == n, "kleinberg needs a square node count");
+    return make_kleinberg(side, 1, 2.0, seed);
+  }
+  if (name == "random-regular") return make_random_regular(n, 4, seed);
+  if (name == "dsn-d") return DsnD(n, 2).topology();
+  if (name == "dsn-e") return DsnE(n).topology();
+  if (name == "dsn-bidir") return make_dsn_bidir(n);
+  throw PreconditionError("unknown topology name: " + name);
+}
+
+std::vector<std::string> paper_topology_trio() { return {"torus", "random", "dsn"}; }
+
+}  // namespace dsn

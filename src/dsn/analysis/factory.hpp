@@ -1,0 +1,25 @@
+// Named topology factory used by benches, tests and examples, following the
+// paper's counterpart conventions: "DSN" is DSN-(p-1)-n, "RANDOM" is DLN-2-2
+// (ring plus two random matchings, exact degree 4), "torus" is the most
+// nearly square 2-D torus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Build a topology by family name: "dsn", "torus" (2-D), "torus3d",
+/// "random" (DLN-2-2), "ring", "dln" (DLN-log n), "kleinberg" (requires
+/// square n), "random-regular" (degree 4), "dsn-d", "dsn-e", "dsn-bidir"
+/// (degree-6 DSN).
+Topology make_topology_by_name(const std::string& name, std::uint32_t n,
+                               std::uint64_t seed = 1);
+
+/// The trio compared throughout the paper's evaluation, in plot order.
+std::vector<std::string> paper_topology_trio();
+
+}  // namespace dsn

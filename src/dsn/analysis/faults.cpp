@@ -1,0 +1,149 @@
+#include "dsn/analysis/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dsn/common/rng.hpp"
+
+namespace dsn {
+
+Graph remove_links(const Graph& g, const std::vector<LinkId>& links) {
+  std::vector<std::uint8_t> dead(g.num_links(), 0);
+  for (const LinkId l : links) {
+    DSN_REQUIRE(l < g.num_links(), "link id out of range");
+    dead[l] = 1;
+  }
+  Graph out(g.num_nodes());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (dead[l]) continue;
+    const auto [u, v] = g.link_endpoints(l);
+    out.add_link(u, v);
+  }
+  return out;
+}
+
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<std::uint8_t> dead(g.num_nodes(), 0);
+  for (const NodeId v : nodes) {
+    DSN_REQUIRE(v < g.num_nodes(), "node id out of range");
+    dead[v] = 1;
+  }
+  Graph out(g.num_nodes());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const auto [u, v] = g.link_endpoints(l);
+    if (!dead[u] && !dead[v]) out.add_link(u, v);
+  }
+  return out;
+}
+
+namespace {
+
+/// Path stats restricted to the `alive` node subset. Connected means every
+/// alive node reaches every other alive node.
+struct SubsetStats {
+  bool connected = false;
+  std::uint32_t diameter = 0;
+  double aspl = 0.0;
+};
+
+SubsetStats subset_path_stats(const Graph& g, const std::vector<std::uint8_t>& alive) {
+  SubsetStats out;
+  std::uint64_t alive_count = 0;
+  for (const auto a : alive) alive_count += a;
+  if (alive_count <= 1) {
+    out.connected = true;
+    return out;
+  }
+  std::uint64_t pairs = 0;
+  std::uint64_t total = 0;
+  std::uint32_t diameter = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!alive[s]) continue;
+    const auto dist = bfs_distances(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (!alive[t] || t == s) continue;
+      if (dist[t] == kUnreachable) return out;  // connected stays false
+      total += dist[t];
+      diameter = std::max(diameter, dist[t]);
+      ++pairs;
+    }
+  }
+  out.connected = true;
+  out.diameter = diameter;
+  out.aspl = static_cast<double>(total) / static_cast<double>(pairs);
+  return out;
+}
+
+FaultTrialResult aggregate_trials(double fraction, const std::vector<SubsetStats>& stats) {
+  FaultTrialResult result;
+  result.fraction_failed = fraction;
+  result.trials = static_cast<std::uint32_t>(stats.size());
+  double diam_sum = 0.0, aspl_sum = 0.0;
+  for (const SubsetStats& s : stats) {
+    if (!s.connected) continue;
+    ++result.connected_trials;
+    diam_sum += s.diameter;
+    aspl_sum += s.aspl;
+  }
+  result.connected_rate =
+      result.trials == 0 ? 0.0
+                         : static_cast<double>(result.connected_trials) / result.trials;
+  if (result.connected_trials > 0) {
+    result.avg_diameter = diam_sum / result.connected_trials;
+    result.avg_aspl = aspl_sum / result.connected_trials;
+  }
+  return result;
+}
+
+}  // namespace
+
+FaultTrialResult evaluate_link_faults(const Topology& topo, double fraction,
+                                      std::uint32_t trials, std::uint64_t seed) {
+  DSN_REQUIRE(fraction >= 0.0 && fraction < 1.0, "fraction must be in [0, 1)");
+  const Graph& g = topo.graph;
+  const auto kill = static_cast<std::size_t>(
+      static_cast<double>(g.num_links()) * fraction + 0.5);
+  std::vector<SubsetStats> stats(trials);
+  const std::vector<std::uint8_t> all_alive(g.num_nodes(), 1);
+
+  Rng rng(seed);
+  std::vector<LinkId> links(g.num_links());
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    std::iota(links.begin(), links.end(), 0);
+    // Partial Fisher-Yates: the first `kill` entries are a uniform sample.
+    for (std::size_t i = 0; i < kill; ++i) {
+      const auto j = i + static_cast<std::size_t>(rng.next_below(links.size() - i));
+      std::swap(links[i], links[j]);
+    }
+    const Graph degraded = remove_links(g, {links.begin(), links.begin() + static_cast<std::ptrdiff_t>(kill)});
+    stats[trial] = subset_path_stats(degraded, all_alive);
+  }
+  return aggregate_trials(fraction, stats);
+}
+
+FaultTrialResult evaluate_switch_faults(const Topology& topo, double fraction,
+                                        std::uint32_t trials, std::uint64_t seed) {
+  DSN_REQUIRE(fraction >= 0.0 && fraction < 1.0, "fraction must be in [0, 1)");
+  const Graph& g = topo.graph;
+  const auto kill = static_cast<std::size_t>(
+      static_cast<double>(g.num_nodes()) * fraction + 0.5);
+  std::vector<SubsetStats> stats(trials);
+
+  Rng rng(seed);
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    std::iota(nodes.begin(), nodes.end(), 0);
+    for (std::size_t i = 0; i < kill; ++i) {
+      const auto j = i + static_cast<std::size_t>(rng.next_below(nodes.size() - i));
+      std::swap(nodes[i], nodes[j]);
+    }
+    std::vector<std::uint8_t> alive(g.num_nodes(), 1);
+    for (std::size_t i = 0; i < kill; ++i) alive[nodes[i]] = 0;
+    const Graph degraded =
+        remove_nodes(g, {nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(kill)});
+    stats[trial] = subset_path_stats(degraded, alive);
+  }
+  return aggregate_trials(fraction, stats);
+}
+
+}  // namespace dsn

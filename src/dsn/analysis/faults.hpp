@@ -1,0 +1,42 @@
+// Fault-tolerance analysis: degrade a topology by removing random links (or
+// switches) and measure connectivity and path-length inflation. The paper's
+// introduction motivates low-degree topologies partly by "simple management
+// mechanisms for faults"; this module quantifies how gracefully each topology
+// degrades.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/graph/metrics.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+struct FaultTrialResult {
+  double fraction_failed = 0.0;
+  double connected_rate = 0.0;       ///< fraction of trials that stayed connected
+  double avg_diameter = 0.0;         ///< over connected trials
+  double avg_aspl = 0.0;             ///< over connected trials
+  std::uint32_t trials = 0;
+  std::uint32_t connected_trials = 0;
+};
+
+/// Remove `round(fraction * links)` random links per trial and evaluate.
+FaultTrialResult evaluate_link_faults(const Topology& topo, double fraction,
+                                      std::uint32_t trials, std::uint64_t seed);
+
+/// Remove `round(fraction * nodes)` random switches (with their links) per
+/// trial and evaluate the surviving subgraph.
+FaultTrialResult evaluate_switch_faults(const Topology& topo, double fraction,
+                                        std::uint32_t trials, std::uint64_t seed);
+
+/// Copy of a graph with the given links removed.
+Graph remove_links(const Graph& g, const std::vector<LinkId>& links);
+
+/// Induced subgraph after deleting the given nodes (ids are preserved; the
+/// removed nodes become isolated and are excluded from the metrics by the
+/// fault evaluators).
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace dsn

@@ -1,0 +1,39 @@
+// Analytic performance model: predict average packet latency under uniform
+// traffic from queueing theory, and validate the cycle-accurate simulator
+// against it at low-to-moderate load.
+//
+// Model: every source emits packets at the offered rate to uniform random
+// destinations; flow splits equally over the minimal-adaptive next hops
+// (the routing DAG toward each destination). Each directed link is an M/D/1
+// queue with deterministic service time = packet serialization (33 cycles),
+// giving waiting time W = rho * S / (2 (1 - rho)). The end-to-end estimate
+// adds per-hop router/link delays and the packet serialization once.
+#pragma once
+
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/config.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+struct QueueingPrediction {
+  double avg_latency_ns = 0.0;
+  double max_link_utilization = 0.0;  ///< rho of the hottest directed link
+  double avg_link_utilization = 0.0;
+  bool stable = true;  ///< false when some link has rho >= 1 (saturated)
+};
+
+/// Predict the average latency for uniform traffic at the configured offered
+/// load, using the minimal-adaptive flow split over `routing`.
+QueueingPrediction predict_uniform_latency(const Topology& topo,
+                                           const SimRouting& routing,
+                                           const SimConfig& config);
+
+/// Per-directed-link packet rates (packets/cycle) under the uniform-traffic
+/// minimal-adaptive split; index = 2 * link + dir (dir 0: u -> v of the
+/// link's endpoints). Exposed for tests and load-balance analysis.
+std::vector<double> uniform_link_rates(const Topology& topo, const SimRouting& routing,
+                                       double packets_per_cycle_per_host,
+                                       std::uint32_t hosts_per_switch);
+
+}  // namespace dsn

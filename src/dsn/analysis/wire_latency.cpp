@@ -1,0 +1,93 @@
+#include "dsn/analysis/wire_latency.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/graph/metrics.hpp"
+
+namespace dsn {
+
+WireLatencyStats estimate_wire_latency(const Topology& topo,
+                                       const WireLatencyConfig& config) {
+  const NodeId n = topo.num_nodes();
+  DSN_REQUIRE(n >= 2, "need at least two switches");
+  const bool grid = topo.dims.size() == 2;
+  const FloorLayout layout(topo, config.room,
+                           grid ? PlacementStrategy::kGrid2D
+                                : PlacementStrategy::kLinear);
+
+  // Pre-compute per-link cable lengths once.
+  std::vector<double> link_m(topo.graph.num_links());
+  for (LinkId l = 0; l < topo.graph.num_links(); ++l) {
+    const auto [u, v] = topo.graph.link_endpoints(l);
+    link_m[l] = layout.cable_length_m(u, v);
+  }
+
+  std::mutex merge;
+  double hops_sum = 0.0, cable_sum = 0.0, lat_sum = 0.0, lat_max = 0.0;
+
+  parallel_for(0, n, [&](std::size_t src) {
+    // BFS recording, per node, the incoming link of one shortest path
+    // (deterministic: adjacency order, first visit wins).
+    const NodeId s = static_cast<NodeId>(src);
+    std::vector<std::uint32_t> dist(n, kUnreachable);
+    std::vector<LinkId> via(n, kInvalidLink);
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<NodeId> frontier{s}, next;
+    dist[s] = 0;
+    while (!frontier.empty()) {
+      next.clear();
+      for (const NodeId u : frontier) {
+        for (const AdjHalf& h : topo.graph.neighbors(u)) {
+          if (dist[h.to] != kUnreachable) continue;
+          dist[h.to] = dist[u] + 1;
+          via[h.to] = h.link;
+          parent[h.to] = u;
+          next.push_back(h.to);
+        }
+      }
+      frontier.swap(next);
+    }
+
+    // Accumulate cable length along each node's shortest-path tree branch
+    // with a second pass in BFS order (parents are always finalized first).
+    std::vector<double> cable_to(n, 0.0);
+    // Re-walk nodes in increasing distance: bucket by distance.
+    std::vector<std::vector<NodeId>> by_dist;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == s || dist[v] == kUnreachable) continue;
+      if (dist[v] >= by_dist.size()) by_dist.resize(dist[v] + 1);
+      by_dist[dist[v]].push_back(v);
+    }
+    double local_hops = 0.0, local_cable = 0.0, local_lat = 0.0, local_max = 0.0;
+    for (const auto& bucket : by_dist) {
+      for (const NodeId v : bucket) {
+        cable_to[v] = cable_to[parent[v]] + link_m[via[v]];
+        const double lat =
+            (dist[v] + 1) * config.router_ns + cable_to[v] * config.cable_ns_per_m;
+        local_hops += dist[v];
+        local_cable += cable_to[v];
+        local_lat += lat;
+        local_max = std::max(local_max, lat);
+      }
+    }
+    std::scoped_lock lock(merge);
+    hops_sum += local_hops;
+    cable_sum += local_cable;
+    lat_sum += local_lat;
+    lat_max = std::max(lat_max, local_max);
+  });
+
+  const double pairs = static_cast<double>(n) * (n - 1);
+  WireLatencyStats stats;
+  stats.avg_hops = hops_sum / pairs;
+  stats.avg_cable_m = cable_sum / pairs;
+  stats.avg_latency_ns = lat_sum / pairs;
+  stats.max_latency_ns = lat_max;
+  const double wire_ns = stats.avg_cable_m * config.cable_ns_per_m;
+  stats.wire_fraction = wire_ns / stats.avg_latency_ns;
+  return stats;
+}
+
+}  // namespace dsn

@@ -1,0 +1,53 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Supports --flag value, --flag=value, and boolean --flag. Unknown flags are
+// an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsn {
+
+/// Declarative CLI parser. Register flags with defaults, then parse().
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Register a flag; `help` is shown by --help.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) if --help was given.
+  /// Throws dsn::PreconditionError on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Parse a comma-separated list of unsigned integers (e.g. "64,128,256").
+  std::vector<std::uint64_t> get_uint_list(const std::string& name) const;
+  /// Parse a comma-separated list of doubles.
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  std::string usage(const std::string& argv0) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dsn

@@ -1,0 +1,63 @@
+// Small integer-math helpers used throughout topology construction.
+#pragma once
+
+#include <cstdint>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn {
+
+/// floor(log2(v)) for v >= 1.
+constexpr std::uint32_t ilog2_floor(std::uint64_t v) {
+  std::uint32_t r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(v)) for v >= 1.
+constexpr std::uint32_t ilog2_ceil(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return ilog2_floor(v - 1) + 1;
+}
+
+/// True iff v is a power of two (v >= 1).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// floor(sqrt(v)).
+constexpr std::uint64_t isqrt(std::uint64_t v) {
+  if (v < 2) return v;
+  std::uint64_t lo = 1, hi = v;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (mid <= v / mid)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+/// ceil(sqrt(v)).
+constexpr std::uint64_t isqrt_ceil(std::uint64_t v) {
+  const std::uint64_t r = isqrt(v);
+  return r * r == v ? r : r + 1;
+}
+
+/// Clockwise (increasing-ID, wrapping) distance from a to b on a ring of n nodes.
+constexpr std::uint64_t ring_cw_distance(std::uint64_t a, std::uint64_t b, std::uint64_t n) {
+  return b >= a ? b - a : n - (a - b);
+}
+
+/// Minimum ring distance (either direction) between a and b on a ring of n nodes.
+constexpr std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b, std::uint64_t n) {
+  const std::uint64_t cw = ring_cw_distance(a, b, n);
+  return cw <= n - cw ? cw : n - cw;
+}
+
+}  // namespace dsn

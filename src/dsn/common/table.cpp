@@ -1,0 +1,87 @@
+#include "dsn/common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DSN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  DSN_REQUIRE(!rows_.empty(), "call row() before cell()");
+  DSN_REQUIRE(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(unsigned value) { return cell(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::left << std::setw(static_cast<int>(widths[c])) << headers_[c];
+    os << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << std::right << std::setw(static_cast<int>(widths[c])) << v;
+      os << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 == headers_.size() ? "\n" : ",");
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c < r.size()) os << r[c];
+      os << (c + 1 == headers_.size() ? "\n" : ",");
+    }
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) {
+    os << "== " << title << " ==\n";
+  }
+  os << to_string() << "\n";
+}
+
+}  // namespace dsn

@@ -1,0 +1,50 @@
+// Column-aligned ASCII tables and CSV output for benchmark harnesses.
+//
+// Every figure/table bench in bench/ prints its results through this class so
+// output is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsn {
+
+/// A simple row/column table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with aligned columns or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new empty row.
+  Table& row();
+
+  /// Append a cell to the current row.
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Render with padded, right-aligned columns (headers left-aligned).
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  /// Print to a stream with a title banner.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsn

@@ -1,0 +1,59 @@
+// Minimal thread pool with a blocking parallel_for, used to parallelize
+// all-pairs BFS sweeps and per-point experiment sweeps across cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dsn {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; exceptions thrown
+/// by tasks propagate out of parallel_for (first one wins).
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Work is distributed in contiguous chunks for cache friendliness.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool (lazily constructed, hardware_concurrency workers).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience free function running on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dsn

@@ -1,0 +1,27 @@
+// Core fixed-width identifier types shared across all dsn modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsn {
+
+/// Identifier of a switch (vertex) in a topology graph.
+using NodeId = std::uint32_t;
+
+/// Identifier of an undirected physical link (edge).
+using LinkId = std::uint32_t;
+
+/// Identifier of a compute host attached to a switch.
+using HostId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no link".
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Sentinel for "unreachable" in hop-distance computations.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace dsn

@@ -1,0 +1,45 @@
+// Umbrella header: include everything in the dsn library.
+//
+// For faster builds include the specific module headers instead; this header
+// exists for quick experiments and the examples.
+#pragma once
+
+#include "dsn/common/cli.hpp"
+#include "dsn/common/error.hpp"
+#include "dsn/common/math.hpp"
+#include "dsn/common/rng.hpp"
+#include "dsn/common/table.hpp"
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/common/types.hpp"
+
+#include "dsn/graph/bisection.hpp"
+#include "dsn/graph/graph.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/graph/paths.hpp"
+
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+#include "dsn/topology/generators.hpp"
+#include "dsn/topology/io.hpp"
+#include "dsn/topology/related.hpp"
+#include "dsn/topology/topology.hpp"
+
+#include "dsn/routing/cdg.hpp"
+#include "dsn/routing/dor.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/routing/greedy.hpp"
+#include "dsn/routing/route.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/routing/updown.hpp"
+
+#include "dsn/layout/layout.hpp"
+
+#include "dsn/sim/config.hpp"
+#include "dsn/sim/packet.hpp"
+#include "dsn/sim/policy.hpp"
+#include "dsn/sim/simulator.hpp"
+#include "dsn/sim/traffic.hpp"
+
+#include "dsn/analysis/experiments.hpp"
+#include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/faults.hpp"

@@ -1,0 +1,173 @@
+#include "dsn/graph/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "dsn/common/thread_pool.hpp"
+
+namespace dsn {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  DSN_REQUIRE(src < g.num_nodes(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{src};
+  std::vector<NodeId> next;
+  dist[src] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const AdjHalf& h : g.neighbors(u)) {
+        if (dist[h.to] == kUnreachable) {
+          dist[h.to] = level;
+          next.push_back(h.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId src) {
+  DSN_REQUIRE(src < g.num_nodes(), "source out of range");
+  BfsTree t;
+  t.dist.assign(g.num_nodes(), kUnreachable);
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> frontier{src};
+  std::vector<NodeId> next;
+  t.dist[src] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const AdjHalf& h : g.neighbors(u)) {
+        if (t.dist[h.to] == kUnreachable) {
+          t.dist[h.to] = level;
+          t.parent[h.to] = u;
+          next.push_back(h.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return t;
+}
+
+PathStats compute_path_stats(const Graph& g) {
+  PathStats stats;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return stats;
+
+  std::mutex merge_mutex;
+  std::atomic<bool> all_reachable{true};
+  std::uint32_t diameter = 0;
+  __uint128_t total_hops = 0;
+  std::uint64_t reachable_pairs = 0;
+  std::vector<std::uint64_t> histogram;
+
+  parallel_for(0, n, [&](std::size_t src) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(src));
+    std::uint32_t local_max = 0;
+    std::uint64_t local_sum = 0;
+    std::uint64_t local_pairs = 0;
+    std::vector<std::uint64_t> local_hist;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src) continue;
+      if (dist[v] == kUnreachable) {
+        all_reachable.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      local_max = std::max(local_max, dist[v]);
+      local_sum += dist[v];
+      ++local_pairs;
+      if (dist[v] >= local_hist.size()) local_hist.resize(dist[v] + 1, 0);
+      ++local_hist[dist[v]];
+    }
+    std::scoped_lock lock(merge_mutex);
+    diameter = std::max(diameter, local_max);
+    total_hops += local_sum;
+    reachable_pairs += local_pairs;
+    if (local_hist.size() > histogram.size()) histogram.resize(local_hist.size(), 0);
+    for (std::size_t h = 0; h < local_hist.size(); ++h) histogram[h] += local_hist[h];
+  });
+
+  stats.connected = n <= 1 || all_reachable.load();
+  stats.diameter = diameter;
+  stats.avg_shortest_path =
+      reachable_pairs == 0 ? 0.0
+                           : static_cast<double>(total_hops) / static_cast<double>(reachable_pairs);
+  stats.hop_histogram = std::move(histogram);
+  return stats;
+}
+
+std::vector<std::uint32_t> eccentricities(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> ecc(n, 0);
+  parallel_for(0, n, [&](std::size_t src) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(src));
+    std::uint32_t m = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] == kUnreachable) {
+        m = kUnreachable;
+        break;
+      }
+      m = std::max(m, dist[v]);
+    }
+    ecc[src] = m;
+  });
+  return ecc;
+}
+
+DegreeStats compute_degree_stats(const Graph& g) {
+  DegreeStats s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  s.min_degree = g.degree(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t d = g.degree(u);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d >= s.histogram.size()) s.histogram.resize(d + 1, 0);
+    ++s.histogram[d];
+  }
+  s.avg_degree = g.average_degree();
+  return s;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+double clustering_coefficient(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  double sum = 0.0;
+  std::uint64_t counted = 0;
+  std::vector<NodeId> nbrs;
+  for (NodeId u = 0; u < n; ++u) {
+    nbrs.clear();
+    for (const AdjHalf& h : g.neighbors(u)) {
+      // Parallel links collapse for clustering purposes.
+      if (std::find(nbrs.begin(), nbrs.end(), h.to) == nbrs.end()) nbrs.push_back(h.to);
+    }
+    if (nbrs.size() < 2) continue;
+    std::uint64_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.has_link(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    const auto pairs = nbrs.size() * (nbrs.size() - 1) / 2;
+    sum += static_cast<double>(closed) / static_cast<double>(pairs);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace dsn

@@ -1,0 +1,56 @@
+// Hop-count graph metrics: BFS, all-pairs shortest path statistics, degree
+// statistics. These drive the Figure 7/8 reproductions and the topology
+// property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/graph/graph.hpp"
+
+namespace dsn {
+
+/// BFS hop distances from src to every node (kUnreachable when disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// BFS that additionally records one shortest-path predecessor per node.
+struct BfsTree {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;  // kInvalidNode for src/unreachable
+};
+BfsTree bfs_tree(const Graph& g, NodeId src);
+
+/// Aggregate all-pairs shortest-path statistics computed by parallel BFS.
+struct PathStats {
+  bool connected = false;
+  std::uint32_t diameter = 0;          ///< max over reachable pairs
+  double avg_shortest_path = 0.0;      ///< mean hops over ordered reachable pairs, s != t
+  std::vector<std::uint64_t> hop_histogram;  ///< index = hop count, value = #ordered pairs
+};
+
+/// Compute PathStats with one BFS per source, parallelized over sources.
+PathStats compute_path_stats(const Graph& g);
+
+/// Eccentricity (max BFS distance) of every node; kUnreachable if the node
+/// cannot reach some other node.
+std::vector<std::uint32_t> eccentricities(const Graph& g);
+
+/// Degree distribution summary.
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::vector<std::uint64_t> histogram;  ///< index = degree, value = #nodes
+};
+DegreeStats compute_degree_stats(const Graph& g);
+
+/// True iff every node can reach every other node.
+bool is_connected(const Graph& g);
+
+/// Average local clustering coefficient (Watts-Strogatz): for each node with
+/// degree >= 2, the fraction of neighbor pairs that are themselves linked,
+/// averaged over all such nodes. The classic "small-world" signature is high
+/// clustering together with low average shortest path length.
+double clustering_coefficient(const Graph& g);
+
+}  // namespace dsn

@@ -1,0 +1,163 @@
+#include "dsn/graph/paths.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "dsn/graph/metrics.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// BFS shortest path avoiding banned links and banned nodes. Deterministic:
+/// neighbors are scanned in adjacency order and the first parent wins.
+std::vector<NodeId> bfs_path_restricted(const Graph& g, NodeId s, NodeId t,
+                                        const std::set<LinkId>& banned_links,
+                                        const std::vector<std::uint8_t>& banned_nodes) {
+  if (s == t) return {s};
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+  std::deque<NodeId> queue{s};
+  seen[s] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const AdjHalf& h : g.neighbors(u)) {
+      if (seen[h.to] || banned_nodes[h.to] || banned_links.count(h.link)) continue;
+      seen[h.to] = 1;
+      parent[h.to] = u;
+      if (h.to == t) {
+        std::vector<NodeId> path{t};
+        for (NodeId v = t; v != s; v = parent[v]) path.push_back(parent[v]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(h.to);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId s, NodeId t) {
+  DSN_REQUIRE(s < g.num_nodes() && t < g.num_nodes(), "node id out of range");
+  return bfs_path_restricted(g, s, t, {}, std::vector<std::uint8_t>(g.num_nodes(), 0));
+}
+
+std::vector<std::vector<NodeId>> yen_k_shortest_paths(const Graph& g, NodeId s,
+                                                      NodeId t, std::size_t k) {
+  DSN_REQUIRE(s < g.num_nodes() && t < g.num_nodes(), "node id out of range");
+  DSN_REQUIRE(s != t, "k-shortest paths needs distinct endpoints");
+  std::vector<std::vector<NodeId>> result;
+  const auto first = shortest_path(g, s, t);
+  if (first.empty() || k == 0) return result;
+  result.push_back(first);
+
+  // Candidate pool, ordered by (length, lexicographic) for determinism.
+  std::set<std::vector<NodeId>, bool (*)(const std::vector<NodeId>&,
+                                         const std::vector<NodeId>&)>
+      candidates(+[](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+        if (a.size() != b.size()) return a.size() < b.size();
+        return a < b;
+      });
+
+  while (result.size() < k) {
+    const std::vector<NodeId>& prev = result.back();
+    // Each prefix of the previous path spawns a deviation.
+    for (std::size_t spur = 0; spur + 1 < prev.size(); ++spur) {
+      const NodeId spur_node = prev[spur];
+      std::vector<NodeId> root(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(spur + 1));
+
+      std::set<LinkId> banned_links;
+      for (const auto& p : result) {
+        if (p.size() > spur &&
+            std::equal(root.begin(), root.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(spur + 1))) {
+          // Ban every parallel link between the shared prefix end and the
+          // next node of this established path.
+          for (const AdjHalf& h : g.neighbors(spur_node)) {
+            if (h.to == p[spur + 1]) banned_links.insert(h.link);
+          }
+        }
+      }
+      std::vector<std::uint8_t> banned_nodes(g.num_nodes(), 0);
+      for (std::size_t i = 0; i < spur; ++i) banned_nodes[prev[i]] = 1;
+
+      const auto spur_path =
+          bfs_path_restricted(g, spur_node, t, banned_links, banned_nodes);
+      if (spur_path.empty()) continue;
+      std::vector<NodeId> total = root;
+      total.insert(total.end(), spur_path.begin() + 1, spur_path.end());
+      if (std::find_if(result.begin(), result.end(),
+                       [&](const auto& p) { return p == total; }) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::uint32_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
+  DSN_REQUIRE(s < g.num_nodes() && t < g.num_nodes(), "node id out of range");
+  DSN_REQUIRE(s != t, "edge connectivity needs distinct endpoints");
+  // Edmonds-Karp with unit capacities: each undirected link becomes a pair
+  // of directed arcs with capacity 1 each; residual flips used arcs.
+  // residual[2*link + dir] = remaining capacity of the dir half.
+  std::vector<std::uint8_t> capacity(g.num_links() * 2, 1);
+  std::uint32_t flow = 0;
+
+  for (;;) {
+    // BFS for an augmenting path over arcs with residual capacity.
+    std::vector<std::uint32_t> parent_arc(g.num_nodes(), kInvalidNode);
+    std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+    std::deque<NodeId> queue{s};
+    seen[s] = 1;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const AdjHalf& h : g.neighbors(u)) {
+        const auto [a, b] = g.link_endpoints(h.link);
+        const std::uint32_t arc = 2 * h.link + (u == a ? 0u : 1u);
+        if (!capacity[arc] || seen[h.to]) continue;
+        seen[h.to] = 1;
+        parent_arc[h.to] = arc;
+        if (h.to == t) {
+          found = true;
+          break;
+        }
+        queue.push_back(h.to);
+      }
+    }
+    if (!found) break;
+    // Augment along the path.
+    NodeId v = t;
+    while (v != s) {
+      const std::uint32_t arc = parent_arc[v];
+      capacity[arc] = 0;
+      capacity[arc ^ 1u] = 1;  // residual in the opposite direction
+      const auto [a, b] = g.link_endpoints(static_cast<LinkId>(arc / 2));
+      v = (arc % 2 == 0) ? a : b;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+std::uint32_t edge_connectivity(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  DSN_REQUIRE(n >= 2, "edge connectivity needs >= 2 nodes");
+  if (!is_connected(g)) return 0;
+  std::uint32_t best = kUnreachable;
+  for (NodeId t = 1; t < n; ++t) {
+    best = std::min(best, edge_disjoint_paths(g, 0, t));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+}  // namespace dsn

@@ -1,0 +1,33 @@
+// Path diversity analysis: Yen's k-shortest loopless paths (hop-count metric)
+// and pairwise edge connectivity (maximum number of edge-disjoint paths, via
+// unit-capacity max-flow). Interconnects with higher path diversity tolerate
+// faults better and spread adaptive traffic more evenly — a key argument in
+// the random-topology literature the paper engages with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/graph/graph.hpp"
+
+namespace dsn {
+
+/// Shortest path (node sequence) from s to t by BFS; empty if unreachable.
+/// Deterministic: prefers lower node ids among equal-length parents.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId s, NodeId t);
+
+/// Yen's algorithm: up to k loopless shortest paths in nondecreasing length.
+/// Deterministic tie-breaking. Returns fewer than k when the graph runs out
+/// of distinct loopless paths.
+std::vector<std::vector<NodeId>> yen_k_shortest_paths(const Graph& g, NodeId s,
+                                                      NodeId t, std::size_t k);
+
+/// Maximum number of edge-disjoint s-t paths (pairwise edge connectivity),
+/// computed with Edmonds-Karp on unit capacities. Parallel physical links
+/// count separately.
+std::uint32_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t);
+
+/// Global edge connectivity: min over t != 0 of edge_disjoint_paths(0, t).
+std::uint32_t edge_connectivity(const Graph& g);
+
+}  // namespace dsn

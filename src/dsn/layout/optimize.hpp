@@ -1,0 +1,43 @@
+// Layout optimization: assign switches to cabinet slots to minimize total
+// cable length, via simulated annealing over the placement permutation.
+// This reproduces the context of the paper's §III discussion of [11]
+// ("layout-conscious random topologies... optimizes the layout after
+// randomizing the links"): even with an optimized placement, random-shortcut
+// topologies keep paying for their long links, while DSN's linear placement
+// is already near-optimal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/layout/layout.hpp"
+
+namespace dsn {
+
+struct PlacementOptimizerConfig {
+  std::uint64_t iterations = 200'000;
+  double initial_temperature = 4.0;  ///< meters of cable, roughly one hop
+  double cooling = 0.999975;         ///< per-iteration geometric cooling
+  std::uint64_t seed = 1;
+};
+
+struct OptimizedPlacement {
+  /// slot_of[node] = cabinet slot index (slots fill cabinets linearly in the
+  /// same q = ceil(sqrt m) grid as PlacementStrategy::kLinear).
+  std::vector<std::uint32_t> slot_of;
+  double initial_total_m = 0.0;
+  double optimized_total_m = 0.0;
+};
+
+/// Anneal the node->slot permutation starting from the identity (linear)
+/// placement. Deterministic for a given seed.
+OptimizedPlacement optimize_placement(const Topology& topo,
+                                      const MachineRoomConfig& room,
+                                      const PlacementOptimizerConfig& config = {});
+
+/// Cable report for an explicit node->slot placement.
+CableReport compute_cable_report_with_slots(const Topology& topo,
+                                            const MachineRoomConfig& room,
+                                            const std::vector<std::uint32_t>& slot_of);
+
+}  // namespace dsn

@@ -1,0 +1,148 @@
+#include "dsn/routing/cdg.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/routing/updown.hpp"
+
+namespace dsn {
+
+std::uint32_t ChannelDependencyGraph::channel_index(const Channel& c) {
+  auto [it, inserted] = index_.try_emplace(c, static_cast<std::uint32_t>(channels_.size()));
+  if (inserted) {
+    channels_.push_back(c);
+    adjacency_.emplace_back();
+  }
+  return it->second;
+}
+
+void ChannelDependencyGraph::add_route(const std::vector<Channel>& channels) {
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const std::uint32_t cur = channel_index(channels[i]);
+    if (i > 0 && prev != cur) {
+      auto& out = adjacency_[prev];
+      if (std::find(out.begin(), out.end(), cur) == out.end()) {
+        out.push_back(cur);
+        ++num_deps_;
+      }
+    }
+    prev = cur;
+  }
+}
+
+bool ChannelDependencyGraph::is_acyclic() const { return find_cycle().empty(); }
+
+std::vector<Channel> ChannelDependencyGraph::find_cycle() const {
+  // Iterative DFS with colors; returns the first back-edge cycle found.
+  const std::size_t n = adjacency_.size();
+  std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::uint32_t> parent(n, kInvalidNode);
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    // Stack of (node, next child index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [u, child] = stack.back();
+      if (child < adjacency_[u].size()) {
+        const std::uint32_t v = adjacency_[u][child++];
+        if (color[v] == 0) {
+          color[v] = 1;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == 1) {
+          // Found a cycle v -> ... -> u -> v.
+          std::vector<Channel> cycle;
+          std::uint32_t w = u;
+          cycle.push_back(channels_[v]);
+          while (w != v && w != kInvalidNode) {
+            cycle.push_back(channels_[w]);
+            w = parent[w];
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<Channel> dsn_route_channels_extended(const Dsn& dsn, const Route& route) {
+  const std::uint32_t p = dsn.p();
+  const NodeId region_hi = 2 * p;  // Extra links connect nodes 0..2p
+  const bool dst_in_region = route.dst + 1 <= region_hi;  // dst <= 2p - 1
+  std::vector<Channel> out;
+  out.reserve(route.hops.size());
+  for (const RouteHop& h : route.hops) {
+    std::uint8_t cls = kClassMain;
+    switch (h.phase) {
+      case RoutePhase::kPreWork:
+        cls = kClassUp;
+        break;
+      case RoutePhase::kMain:
+        cls = kClassMain;
+        break;
+      case RoutePhase::kFinish:
+        if (dst_in_region && h.from <= region_hi && h.to <= region_hi &&
+            std::max(h.from, h.to) <= region_hi) {
+          cls = kClassExtra;
+        } else {
+          cls = kClassFinish;
+        }
+        break;
+    }
+    out.push_back({h.from, h.to, cls});
+  }
+  return out;
+}
+
+std::vector<Channel> dsn_route_channels_basic(const Route& route) {
+  std::vector<Channel> out;
+  out.reserve(route.hops.size());
+  for (const RouteHop& h : route.hops) out.push_back({h.from, h.to, 0});
+  return out;
+}
+
+ChannelDependencyGraph build_dsn_cdg(const Dsn& dsn, bool extended, bool nearest_prework) {
+  DsnRoutingOptions options;
+  options.nearest_prework = nearest_prework;
+  DsnRouter router(dsn, options);
+  ChannelDependencyGraph cdg;
+  const NodeId n = dsn.n();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const Route r = router.route(s, t);
+      cdg.add_route(extended ? dsn_route_channels_extended(dsn, r)
+                             : dsn_route_channels_basic(r));
+    }
+  }
+  return cdg;
+}
+
+ChannelDependencyGraph build_updown_cdg(const UpDownRouting& routing) {
+  ChannelDependencyGraph cdg;
+  const NodeId n = routing.graph().num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const auto path = routing.route(s, t);
+      std::vector<Channel> channels;
+      channels.reserve(path.size() - 1);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        channels.push_back({path[i], path[i + 1], 0});
+      }
+      cdg.add_route(channels);
+    }
+  }
+  return cdg;
+}
+
+}  // namespace dsn

@@ -1,0 +1,85 @@
+// Channel Dependency Graph (CDG) analysis [Dally & Seitz] used to verify the
+// deadlock-freedom claims of the paper:
+//  - Theorem 3: the extended DSN routing on DSN-E (physical Up/Extra links)
+//    and DSN-V (virtual channels) has an acyclic CDG;
+//  - up*/down* escape routing has an acyclic CDG (classic result);
+//  - negative control: the basic DSN custom routing without the extension
+//    has a cyclic CDG.
+//
+// A channel is a directed use of a physical link tagged with a channel class
+// (virtual channel / link group). A dependency c1 -> c2 is recorded whenever
+// some route holds c1 and then immediately requests c2. The routing is
+// deadlock-free (for virtual cut-through) if the resulting directed graph is
+// acyclic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dsn/common/types.hpp"
+#include "dsn/routing/route.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+
+namespace dsn {
+
+/// A directed channel: physical hop (from -> to) within a channel class.
+struct Channel {
+  NodeId from;
+  NodeId to;
+  std::uint8_t cls;
+  auto operator<=>(const Channel&) const = default;
+};
+
+class ChannelDependencyGraph {
+ public:
+  /// Record the channel sequence of one route; consecutive channels create
+  /// dependencies. Duplicate channels/dependencies are collapsed.
+  void add_route(const std::vector<Channel>& channels);
+
+  std::size_t num_channels() const { return adjacency_.size(); }
+  std::size_t num_dependencies() const { return num_deps_; }
+
+  /// True iff the dependency graph has no directed cycle (Kahn's algorithm).
+  bool is_acyclic() const;
+
+  /// One directed cycle (as channel indices into channels()) or empty when
+  /// acyclic — useful for diagnostics and the negative-control test.
+  std::vector<Channel> find_cycle() const;
+
+ private:
+  std::uint32_t channel_index(const Channel& c);
+
+  std::map<Channel, std::uint32_t> index_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::size_t num_deps_ = 0;
+};
+
+/// Channel classes used when mapping DSN routes onto channels.
+enum DsnChannelClass : std::uint8_t {
+  kClassUp = 0,      ///< PRE-WORK moves (Up links / "up" VC)
+  kClassMain = 1,    ///< MAIN-PROCESS succ + shortcut moves
+  kClassFinish = 2,  ///< FINISH ring moves
+  kClassExtra = 3,   ///< FINISH moves carried by Extra links near node 0
+};
+
+/// Map a DSN route onto channels under the *extended* scheme of §V-A
+/// (Theorem 3): PRE-WORK on Up channels, MAIN on main channels, FINISH on
+/// finish channels except that, when the destination lies in [0, 2p-1], hops
+/// with both endpoints in [0, 2p] ride the Extra channels.
+std::vector<Channel> dsn_route_channels_extended(const Dsn& dsn, const Route& route);
+
+/// Map a DSN route onto channels with a single channel class (the basic,
+/// unprotected design — expected to yield a cyclic CDG).
+std::vector<Channel> dsn_route_channels_basic(const Route& route);
+
+/// Build the CDG of the DSN custom routing over all ordered pairs.
+ChannelDependencyGraph build_dsn_cdg(const Dsn& dsn, bool extended,
+                                     bool nearest_prework = false);
+
+/// Build the CDG of an up*/down* routing over all ordered pairs.
+class UpDownRouting;
+ChannelDependencyGraph build_updown_cdg(const UpDownRouting& routing);
+
+}  // namespace dsn

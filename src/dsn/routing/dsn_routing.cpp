@@ -1,0 +1,370 @@
+#include "dsn/routing/dsn_routing.hpp"
+
+#include "dsn/common/math.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// Clockwise ring distance helper.
+std::uint64_t cw(NodeId a, NodeId b, std::uint32_t n) { return ring_cw_distance(a, b, n); }
+
+/// Defensive hop cap: far above the 3p + r routing diameter (Fact 2) so it
+/// only fires on a genuine algorithmic bug or out-of-premise parameters.
+std::size_t hop_cap(const Dsn& d) {
+  return 10u * (d.p() + d.r()) + 50u;
+}
+
+/// Walk the ring from u to t along the shorter direction, appending hops.
+void ring_walk(const Dsn& d, NodeId& u, NodeId t, RoutePhase phase,
+               std::vector<RouteHop>& hops) {
+  const std::uint32_t n = d.n();
+  const std::uint64_t dist_cw = cw(u, t, n);
+  const bool go_succ = dist_cw <= n - dist_cw;
+  while (u != t) {
+    const NodeId v = go_succ ? d.succ(u) : d.pred(u);
+    hops.push_back({u, v, phase, go_succ ? HopKind::kSucc : HopKind::kPred});
+    u = v;
+  }
+}
+
+}  // namespace
+
+DsnRouter::DsnRouter(const Dsn& dsn, DsnRoutingOptions options)
+    : dsn_(&dsn), options_(options) {}
+
+std::uint32_t DsnRouter::level_for_distance(std::uint64_t d) const {
+  DSN_ASSERT(d >= 1, "distance must be positive");
+  const std::uint32_t n = dsn_->n();
+  const std::uint32_t p = dsn_->p();
+  // Smallest l >= 1 with n / 2^l <= d in *real* arithmetic (n <= d * 2^l),
+  // exactly the paper's l = floor(log(n/d)) + 1. Using floor(n/2^l) here
+  // instead would misclassify boundary distances (e.g. d = 37 with n = 300)
+  // and break the MAIN-PROCESS level invariant.
+  for (std::uint32_t l = 1; l < p; ++l) {
+    if (n <= (d << l)) return l;
+  }
+  return p;
+}
+
+Route DsnRouter::route(NodeId s, NodeId t) const {
+  const Dsn& d = *dsn_;
+  const std::uint32_t n = d.n();
+  const std::uint32_t p = d.p();
+  const std::uint32_t x = d.x();
+  DSN_REQUIRE(s < n && t < n, "node id out of range");
+
+  Route r;
+  r.src = s;
+  r.dst = t;
+  if (s == t) return r;
+
+  const std::size_t cap = hop_cap(d);
+  NodeId u = s;
+
+  // Destinations a short counterclockwise walk away are handled directly by
+  // FINISH (the same bidirectional local walk the algorithm ends with); the
+  // clockwise machinery would otherwise tour the whole ring for them.
+  if (n - cw(s, t, n) <= p + d.r()) {
+    ring_walk(d, u, t, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
+  // ----- PRE-WORK: reach a node whose level matches the required shortcut
+  // level l for the current clockwise distance to t.
+  std::uint32_t l = level_for_distance(cw(u, t, n));
+  if (options_.nearest_prework && d.level(u) > l) {
+    // Fact 3: walk to the nearest level-l node in either ring direction.
+    NodeId fwd = u, bwd = u;
+    std::uint32_t fwd_steps = 0, bwd_steps = 0;
+    while (d.level(fwd) != l && fwd_steps <= p + d.r()) {
+      fwd = d.succ(fwd);
+      ++fwd_steps;
+    }
+    while (d.level(bwd) != l && bwd_steps <= p + d.r()) {
+      bwd = d.pred(bwd);
+      ++bwd_steps;
+    }
+    const bool go_fwd = d.level(fwd) == l && (fwd_steps <= bwd_steps || d.level(bwd) != l);
+    const NodeId target = go_fwd ? fwd : bwd;
+    while (u != target && u != t) {
+      const NodeId v = go_fwd ? d.succ(u) : d.pred(u);
+      r.hops.push_back({u, v, RoutePhase::kPreWork,
+                        go_fwd ? HopKind::kSucc : HopKind::kPred});
+      u = v;
+    }
+    if (u != t) l = level_for_distance(cw(u, t, n));
+  }
+  while (u != t && d.level(u) > l && r.hops.size() < cap) {
+    const NodeId v = d.pred(u);
+    r.hops.push_back({u, v, RoutePhase::kPreWork, HopKind::kPred});
+    u = v;
+    if (u == t) break;
+    l = level_for_distance(cw(u, t, n));
+  }
+
+  // ----- MAIN-PROCESS: climb to the needed level with succ links and take
+  // distance-halving shortcuts; stop on the LOOP-STOP condition. The take
+  // rule is slightly greedier than the literal pseudo-code ("take own
+  // shortcut whenever it does not overshoot"): integer spans can leave the
+  // walker one level above the recomputed l, where the literal rule would
+  // march to level x+1 and pay a long FINISH. Levels still increase
+  // monotonically, so the Theorem 3 deadlock argument is unaffected.
+  while (u != t && r.hops.size() < cap) {
+    const std::uint64_t dist = cw(u, t, n);
+    if (dist <= p) break;  // close enough — overshooting would waste hops
+    const std::uint32_t lu = d.level(u);
+    if (lu == x + 1) break;  // this level has no shortcut
+    l = level_for_distance(dist);
+    if (lu <= x) {
+      const NodeId v = d.shortcut_target(u);
+      DSN_ASSERT(v != kInvalidNode, "level <= x node must own a shortcut");
+      const std::uint64_t span = cw(u, v, n);
+      if (span <= dist) {
+        r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kShortcut});
+        u = v;
+        continue;
+      }
+      if (lu >= l) {
+        // The designated-level shortcut overshoots t.
+        if (options_.avoid_overshoot) {
+          // §V-D: step forward and use the successor's shorter shortcut.
+          const NodeId w = d.succ(u);
+          r.hops.push_back({u, w, RoutePhase::kMain, HopKind::kSucc});
+          u = w;
+          continue;
+        }
+        r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kShortcut});
+        u = v;
+        break;  // LOOP-STOP: overshot t
+      }
+    }
+    const NodeId v = d.succ(u);
+    r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kSucc});
+    u = v;
+  }
+
+  // ----- FINISH: plain ring walk over the remaining (short) distance.
+  if (r.hops.size() >= cap) r.used_fallback = true;
+  ring_walk(d, u, t, RoutePhase::kFinish, r.hops);
+  return r;
+}
+
+RoutingScan scan_all_pairs(const DsnRouter& router) {
+  return scan_all_pairs_fn(router.dsn().n(),
+                           [&](NodeId s, NodeId t) { return router.route(s, t); });
+}
+
+void validate_route(const Dsn& dsn, const Route& route) {
+  const Graph& g = dsn.topology().graph;
+  if (route.src == route.dst) {
+    DSN_ASSERT(route.hops.empty(), "self route must be empty");
+    return;
+  }
+  DSN_ASSERT(!route.hops.empty(), "route between distinct nodes must have hops");
+  DSN_ASSERT(route.hops.front().from == route.src, "route must start at src");
+  DSN_ASSERT(route.hops.back().to == route.dst, "route must end at dst");
+  RoutePhase prev_phase = RoutePhase::kPreWork;
+  for (std::size_t i = 0; i < route.hops.size(); ++i) {
+    const RouteHop& h = route.hops[i];
+    if (i > 0) {
+      DSN_ASSERT(route.hops[i - 1].to == h.from, "hops must chain");
+      DSN_ASSERT(static_cast<int>(h.phase) >= static_cast<int>(prev_phase),
+                 "phases must be non-decreasing");
+    }
+    DSN_ASSERT(g.has_link(h.from, h.to), "hop must traverse a physical link");
+    prev_phase = h.phase;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSN-D routing: express-aware local walks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Walk from u to an exact target node, pred-ward or succ-ward, taking DSN-D
+/// express links whenever they jump toward the target without passing it.
+void express_walk(const DsnD& dd, NodeId& u, NodeId target, bool succ_ward,
+                  RoutePhase phase, std::vector<RouteHop>& hops) {
+  const Dsn& d = dd.base();
+  const Graph& g = dd.topology().graph;
+  const std::uint32_t n = d.n();
+  const std::uint32_t q = dd.q();
+  while (u != target) {
+    if (succ_ward) {
+      const std::uint64_t remaining = ring_cw_distance(u, target, n);
+      const NodeId jump = static_cast<NodeId>((u + q) % n);
+      if (u % q == 0 && remaining >= q && g.has_link(u, jump) && jump != d.succ(u)) {
+        hops.push_back({u, jump, phase, HopKind::kExpress});
+        u = jump;
+        continue;
+      }
+      const NodeId v = d.succ(u);
+      hops.push_back({u, v, phase, HopKind::kSucc});
+      u = v;
+    } else {
+      const std::uint64_t remaining = ring_cw_distance(target, u, n);
+      if (u % q == 0 && u >= q && remaining >= q && g.has_link(u, u - q) &&
+          u - q != d.pred(u)) {
+        hops.push_back({u, u - q, phase, HopKind::kExpress});
+        u = u - q;
+        continue;
+      }
+      const NodeId v = d.pred(u);
+      hops.push_back({u, v, phase, HopKind::kPred});
+      u = v;
+    }
+  }
+}
+
+}  // namespace
+
+Route route_dsn_d(const DsnD& dd, NodeId s, NodeId t, DsnRoutingOptions options) {
+  const Dsn& d = dd.base();
+  const std::uint32_t n = d.n();
+  const std::uint32_t p = d.p();
+  const std::uint32_t x = d.x();
+  DSN_REQUIRE(s < n && t < n, "node id out of range");
+
+  Route r;
+  r.src = s;
+  r.dst = t;
+  if (s == t) return r;
+
+  const std::size_t cap = hop_cap(d);
+  NodeId u = s;
+
+  const auto level_for = [&](std::uint64_t dist) {
+    for (std::uint32_t l = 1; l < p; ++l)
+      if (n <= (dist << l)) return l;
+    return p;
+  };
+
+  // Short counterclockwise destinations go straight to FINISH (see route()).
+  if (n - cw(s, t, n) <= p + d.r()) {
+    express_walk(dd, u, t, /*succ_ward=*/false, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
+  // PRE-WORK with express links: target the level-l node reached by walking
+  // counterclockwise within the current super node.
+  std::uint32_t l = level_for(cw(u, t, n));
+  if (d.level(u) > l) {
+    const NodeId target = static_cast<NodeId>(u - (d.level(u) - l));  // same super node
+    express_walk(dd, u, target, /*succ_ward=*/false, RoutePhase::kPreWork, r.hops);
+  }
+  while (d.level(u) > level_for(cw(u, t, n)) && r.hops.size() < cap) {
+    const NodeId v = d.pred(u);
+    r.hops.push_back({u, v, RoutePhase::kPreWork, HopKind::kPred});
+    u = v;
+  }
+
+  // MAIN-PROCESS: identical to the basic algorithm (greedy take rule).
+  while (u != t && r.hops.size() < cap) {
+    const std::uint64_t dist = cw(u, t, n);
+    if (dist <= p) break;
+    const std::uint32_t lu = d.level(u);
+    if (lu == x + 1) break;
+    l = level_for(dist);
+    if (lu <= x) {
+      const NodeId v = d.shortcut_target(u);
+      DSN_ASSERT(v != kInvalidNode, "level <= x node must own a shortcut");
+      const std::uint64_t span = cw(u, v, n);
+      if (span <= dist) {
+        r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kShortcut});
+        u = v;
+        continue;
+      }
+      if (lu >= l) {
+        if (options.avoid_overshoot) {
+          const NodeId w = d.succ(u);
+          r.hops.push_back({u, w, RoutePhase::kMain, HopKind::kSucc});
+          u = w;
+          continue;
+        }
+        r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kShortcut});
+        u = v;
+        break;  // overshot
+      }
+    }
+    const NodeId v = d.succ(u);
+    r.hops.push_back({u, v, RoutePhase::kMain, HopKind::kSucc});
+    u = v;
+  }
+
+  if (r.hops.size() >= cap) r.used_fallback = true;
+
+  // FINISH with express links along the shorter ring direction.
+  const std::uint64_t dist_cw = cw(u, t, n);
+  express_walk(dd, u, t, /*succ_ward=*/dist_cw <= n - dist_cw, RoutePhase::kFinish, r.hops);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Flexible DSN routing (§V-C).
+// ---------------------------------------------------------------------------
+
+Route route_dsn_flex(const FlexDsn& f, NodeId s, NodeId t, DsnRoutingOptions options) {
+  const std::uint32_t n_total = f.num_total();
+  DSN_REQUIRE(s < n_total && t < n_total, "node id out of range");
+
+  Route r;
+  r.src = s;
+  r.dst = t;
+  if (s == t) return r;
+
+  const Graph& g = f.topology().graph;
+  NodeId u = s;
+
+  // A minor source first steps back to its preceding major node.
+  if (!f.is_major(u)) {
+    const NodeId major_phys = f.preceding_major(u);
+    while (u != major_phys) {
+      const NodeId v = u == 0 ? n_total - 1 : u - 1;
+      r.hops.push_back({u, v, RoutePhase::kPreWork, HopKind::kPred});
+      u = v;
+    }
+  }
+
+  // Route between majors in the logical DSN, then expand each logical hop to
+  // physical hops (a logical ring hop may cross one minor node).
+  const NodeId t_major_phys = f.is_major(t) ? t : f.preceding_major(t);
+  const NodeId s_major = f.major_of(u);
+  const NodeId t_major = f.major_of(t_major_phys);
+  if (s_major != t_major) {
+    DsnRouter base_router(f.base(), options);
+    const Route logical = base_router.route(s_major, t_major);
+    for (const RouteHop& lh : logical.hops) {
+      const NodeId pa = f.phys_of(lh.from);
+      const NodeId pb = f.phys_of(lh.to);
+      DSN_ASSERT(u == pa, "flex expansion lost track of position");
+      if (g.has_link(pa, pb)) {
+        r.hops.push_back({pa, pb, lh.phase, lh.kind});
+        u = pb;
+      } else {
+        // One minor node sits between the two majors on the ring.
+        DSN_ASSERT(lh.kind == HopKind::kPred || lh.kind == HopKind::kSucc,
+                   "only ring hops may cross minors");
+        const bool fwd = lh.kind == HopKind::kSucc;
+        const NodeId mid = fwd ? (pa + 1) % n_total : (pa == 0 ? n_total - 1 : pa - 1);
+        DSN_ASSERT(!f.is_major(mid) && g.has_link(pa, mid) && g.has_link(mid, pb),
+                   "expected a single minor between consecutive majors");
+        r.hops.push_back({pa, mid, lh.phase, lh.kind});
+        r.hops.push_back({mid, pb, lh.phase, lh.kind});
+        u = pb;
+      }
+    }
+  }
+
+  // Walk forward (succ) from the destination's preceding major to the minor
+  // destination, or we are already there.
+  while (u != t) {
+    const NodeId v = (u + 1) % n_total;
+    r.hops.push_back({u, v, RoutePhase::kFinish, HopKind::kSucc});
+    u = v;
+  }
+  return r;
+}
+
+}  // namespace dsn

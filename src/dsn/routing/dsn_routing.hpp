@@ -1,0 +1,91 @@
+// The DSN custom routing algorithm (paper §IV-B, Fig. 2) and its variants:
+//  - basic three-phase routing (PRE-WORK, MAIN-PROCESS, FINISH);
+//  - nearest-direction PRE-WORK (used in the Fact-3 diameter argument);
+//  - overshoot-avoiding variant (§V-D);
+//  - DSN-D routing that exploits express links in the local-walk phases.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/routing/route.hpp"
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+
+namespace dsn {
+
+struct DsnRoutingOptions {
+  /// §V-D: when the selected shortcut would overshoot the destination, step
+  /// to the successor and take its (shorter) shortcut instead.
+  bool avoid_overshoot = false;
+  /// Fact 3: in PRE-WORK move toward the *nearest* node of the required
+  /// level, clockwise or counterclockwise, instead of always counterclockwise.
+  bool nearest_prework = false;
+};
+
+/// Stateless router over a basic DSN. Routes are deterministic.
+class DsnRouter {
+ public:
+  explicit DsnRouter(const Dsn& dsn, DsnRoutingOptions options = {});
+
+  /// Compute the full route from s to t. s == t yields an empty route.
+  Route route(NodeId s, NodeId t) const;
+
+  const Dsn& dsn() const { return *dsn_; }
+  const DsnRoutingOptions& options() const { return options_; }
+
+ private:
+  /// Required shortcut level for clockwise distance d: l = floor(log2(n/d))+1,
+  /// clamped to [1, p]; satisfies n/2^l <= d (approximately, integer math).
+  std::uint32_t level_for_distance(std::uint64_t d) const;
+
+  const Dsn* dsn_;
+  DsnRoutingOptions options_;
+};
+
+/// Route on a DSN-D using express links to shorten PRE-WORK and FINISH.
+Route route_dsn_d(const DsnD& d, NodeId s, NodeId t, DsnRoutingOptions options = {});
+
+/// Route on a flexible DSN: minor destinations are reached through the
+/// preceding major node, then by succ links (§V-C).
+Route route_dsn_flex(const FlexDsn& f, NodeId s, NodeId t, DsnRoutingOptions options = {});
+
+/// All-pairs scan of a DsnRouter.
+RoutingScan scan_all_pairs(const DsnRouter& router);
+
+/// Verify that a route is well-formed on the given DSN: starts at src, ends
+/// at dst, every hop is a graph link, phases appear in order. Throws
+/// InternalError on violation.
+void validate_route(const Dsn& dsn, const Route& route);
+
+/// Evaluate an arbitrary route function over all ordered pairs of an n-node
+/// network (parallelized over sources).
+template <typename RouteFn>
+RoutingScan scan_all_pairs_fn(NodeId n, const RouteFn& route_fn) {
+  RoutingScan scan;
+  std::mutex merge;
+  std::uint64_t total = 0;
+  parallel_for(0, n, [&](std::size_t s) {
+    std::uint32_t local_max = 0;
+    std::uint64_t local_total = 0;
+    std::uint64_t local_fallbacks = 0;
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == static_cast<NodeId>(s)) continue;
+      const Route r = route_fn(static_cast<NodeId>(s), t);
+      local_max = std::max<std::uint32_t>(local_max, static_cast<std::uint32_t>(r.length()));
+      local_total += r.length();
+      local_fallbacks += r.used_fallback ? 1 : 0;
+    }
+    std::scoped_lock lock(merge);
+    scan.max_hops = std::max(scan.max_hops, local_max);
+    total += local_total;
+    scan.fallback_routes += local_fallbacks;
+  });
+  scan.pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  scan.avg_hops = scan.pairs == 0 ? 0.0
+                                  : static_cast<double>(total) / static_cast<double>(scan.pairs);
+  return scan;
+}
+
+}  // namespace dsn

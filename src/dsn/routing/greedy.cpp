@@ -1,0 +1,77 @@
+#include "dsn/routing/greedy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "dsn/common/thread_pool.hpp"
+
+namespace dsn {
+
+namespace {
+
+std::int64_t lattice_distance(NodeId a, NodeId b, std::uint32_t side) {
+  const std::int64_t ax = a % side, ay = a / side;
+  const std::int64_t bx = b % side, by = b / side;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+}  // namespace
+
+std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t) {
+  DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1],
+              "greedy routing needs a square grid topology");
+  DSN_REQUIRE(s < topo.num_nodes() && t < topo.num_nodes(), "node id out of range");
+  const std::uint32_t side = topo.dims[0];
+
+  std::vector<NodeId> path{s};
+  NodeId u = s;
+  const std::size_t cap = 4ull * side + 16;
+  while (u != t) {
+    NodeId best = kInvalidNode;
+    std::int64_t best_dist = lattice_distance(u, t, side);
+    for (const AdjHalf& h : topo.graph.neighbors(u)) {
+      const std::int64_t d = lattice_distance(h.to, t, side);
+      if (d < best_dist || (d == best_dist && best != kInvalidNode && h.to < best)) {
+        // Strictly-closer neighbors only: the grid links guarantee one
+        // always exists, which is what makes greedy routing well defined.
+        if (d < lattice_distance(u, t, side)) {
+          best = h.to;
+          best_dist = d;
+        }
+      }
+    }
+    DSN_ASSERT(best != kInvalidNode, "grid must provide a closer neighbor");
+    path.push_back(best);
+    u = best;
+    DSN_ASSERT(path.size() <= cap, "greedy walk exceeded the progress bound");
+  }
+  return path;
+}
+
+RoutingScan scan_greedy_grid(const Topology& topo) {
+  const NodeId n = topo.num_nodes();
+  RoutingScan scan;
+  std::mutex merge;
+  std::uint64_t total = 0;
+  parallel_for(0, n, [&](std::size_t s) {
+    std::uint32_t local_max = 0;
+    std::uint64_t local_total = 0;
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == static_cast<NodeId>(s)) continue;
+      const auto path = route_greedy_grid(topo, static_cast<NodeId>(s), t);
+      const auto hops = static_cast<std::uint32_t>(path.size() - 1);
+      local_max = std::max(local_max, hops);
+      local_total += hops;
+    }
+    std::scoped_lock lock(merge);
+    scan.max_hops = std::max(scan.max_hops, local_max);
+    total += local_total;
+  });
+  scan.pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  scan.avg_hops =
+      scan.pairs == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(scan.pairs);
+  return scan;
+}
+
+}  // namespace dsn

@@ -1,0 +1,25 @@
+// Greedy geographic routing on Kleinberg-style grid topologies (§II, [15]):
+// at each step move to the neighbor with the smallest lattice (Manhattan)
+// distance to the destination, using local information only. Kleinberg proved
+// greedy finds paths of expected length O(log^2 n) — asymptotically quadratic
+// in the optimum [16] — which is the weakness the DSN custom routing is
+// designed to avoid.
+#pragma once
+
+#include <vector>
+
+#include "dsn/routing/route.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Greedy path (node sequence) on a rank-2 grid topology with optional
+/// shortcuts (topo.dims = {side, side}). The base grid guarantees progress,
+/// so the walk always terminates in at most 2*side hops... per remaining
+/// distance; a defensive cap still guards against malformed topologies.
+std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t);
+
+/// All-pairs greedy scan (max/avg path length).
+RoutingScan scan_greedy_grid(const Topology& topo);
+
+}  // namespace dsn

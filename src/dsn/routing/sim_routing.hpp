@@ -1,0 +1,53 @@
+// Routing tables for the cycle-accurate simulator: the topology-agnostic
+// adaptive scheme of Silla & Duato [24] as described in §VII-A — fully
+// adaptive minimal hops on the adaptive virtual channels, with up*/down*
+// shortest legal paths as the escape layer. Deadlock freedom follows from
+// Duato's theory for virtual cut-through: the escape subnetwork (up*/down*)
+// has an acyclic channel dependency graph and is connected.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsn/graph/metrics.hpp"
+#include "dsn/routing/updown.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+class SimRouting {
+ public:
+  /// Builds APSP distances, minimal next-hop sets and up*/down* tables.
+  explicit SimRouting(const Topology& topo, NodeId updown_root = 0);
+
+  const Topology& topology() const { return *topo_; }
+  const UpDownRouting& updown() const { return updown_; }
+
+  /// Hop distance between switches.
+  std::uint32_t distance(NodeId u, NodeId t) const {
+    return dist_[static_cast<std::size_t>(u) * n_ + t];
+  }
+
+  /// Minimal adaptive next hops from u toward t (neighbors one hop closer).
+  std::span<const NodeId> minimal_next_hops(NodeId u, NodeId t) const;
+
+  /// Escape next hop (up*/down*). `down_only` reflects whether the packet's
+  /// previous consecutive escape hop was a down hop.
+  NodeId escape_next_hop(NodeId u, NodeId t, bool down_only) const {
+    return updown_.next_hop(u, t, down_only);
+  }
+
+  /// Whether hop u -> v is a down hop in the up*/down* orientation.
+  bool escape_hop_is_down(NodeId u, NodeId v) const { return !updown_.is_up(u, v); }
+
+ private:
+  const Topology* topo_;
+  NodeId n_;
+  UpDownRouting updown_;
+  std::vector<std::uint32_t> dist_;       // n * n
+  std::vector<NodeId> minimal_flat_;      // concatenated next-hop lists
+  std::vector<std::uint32_t> minimal_off_;  // (n*n + 1) offsets into minimal_flat_
+};
+
+}  // namespace dsn

@@ -1,0 +1,56 @@
+// Up*/down* routing [Schroeder et al., Autonet] — the topology-agnostic
+// deadlock-free routing the paper assumes for random topologies and uses as
+// the escape layer of the adaptive scheme in the simulator (§VII-A, [24]).
+//
+// A BFS spanning tree from a root orients every link: the end closer to the
+// root (ties broken by lower node id) is the "up" end. A legal path traverses
+// zero or more up links followed by zero or more down links; this forbids the
+// down->up transition, which makes the channel dependency graph acyclic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/graph/graph.hpp"
+#include "dsn/routing/route.hpp"
+
+namespace dsn {
+
+class UpDownRouting {
+ public:
+  /// Builds tree levels and both next-hop tables (O(n * E) preprocessing).
+  UpDownRouting(const Graph& g, NodeId root);
+
+  NodeId root() const { return root_; }
+  const Graph& graph() const { return *graph_; }
+
+  /// True iff traversing u -> v is an "up" hop (toward the root).
+  bool is_up(NodeId u, NodeId v) const;
+
+  /// Hop count of the shortest legal path from u to t (phase 0: up allowed).
+  std::uint32_t legal_distance(NodeId u, NodeId t) const;
+
+  /// Next hop on a shortest legal path from u to t. `down_only` selects the
+  /// table for packets whose previous hop (on the escape layer) was a down
+  /// hop; such a continuation exists whenever the tables were followed
+  /// consistently. Returns kInvalidNode when u == t.
+  NodeId next_hop(NodeId u, NodeId t, bool down_only = false) const;
+
+  /// Full shortest legal path from s to t (node sequence including both ends).
+  std::vector<NodeId> route(NodeId s, NodeId t) const;
+
+  /// Max/avg legal path length over all ordered pairs.
+  RoutingScan scan_all_pairs() const;
+
+ private:
+  const Graph* graph_;
+  NodeId root_;
+  std::vector<std::uint32_t> tree_level_;
+  // dist_[phase][t * n + u] = shortest legal hops from u to t given phase
+  // (0: up still allowed, 1: down only); kUnreachable if none.
+  std::vector<std::uint32_t> dist_[2];
+  // next_[phase][t * n + u] = next hop on such a path.
+  std::vector<NodeId> next_[2];
+};
+
+}  // namespace dsn

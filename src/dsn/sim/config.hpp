@@ -1,0 +1,84 @@
+// Simulator configuration mirroring the paper's §VII-A setup:
+//   - virtual cut-through switching, 4 virtual channels;
+//   - >100 ns per-hop header latency (routing + VC allocation + switch
+//     allocation + crossbar);
+//   - 20 ns flit-injection + link delay;
+//   - 33-flit packets, 256-bit flits, 96 Gbps effective link bandwidth;
+//   - 64 switches with 4 compute hosts each.
+//
+// Internally the simulator is cycle-stepped with one cycle equal to the flit
+// serialization time (flit_bits / link_bw), so every link moves at most one
+// flit per cycle and all ns-valued delays are rounded up to whole cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn {
+
+/// Switching mode: virtual cut-through forwards a packet only when the
+/// downstream buffer can absorb it entirely; wormhole forwards as soon as one
+/// flit of space exists, letting blocked packets stall stretched across
+/// switches (which is why its deadlock analysis needs indirect dependencies).
+enum class SwitchingMode : std::uint8_t { kVirtualCutThrough, kWormhole };
+
+struct SimConfig {
+  SwitchingMode switching = SwitchingMode::kVirtualCutThrough;
+  std::uint32_t vcs = 4;
+  /// Input buffer depth per (port, VC) in flits. Virtual cut-through requires
+  /// at least one full packet; VC allocation demands packet_flits credits.
+  std::uint32_t buffer_flits = 33;
+  std::uint32_t packet_flits = 33;  ///< incl. 1 header flit
+  double flit_bits = 256.0;
+  double link_bw_gbps = 96.0;
+  double router_delay_ns = 100.0;
+  double link_delay_ns = 20.0;  ///< flit injection delay + link delay
+  std::uint32_t hosts_per_switch = 4;
+
+  std::uint64_t warmup_cycles = 20'000;
+  std::uint64_t measure_cycles = 60'000;
+  std::uint64_t drain_cycles = 120'000;  ///< cap on the post-measurement drain
+
+  /// Offered load per host in Gbit/s (converted to flits/cycle internally).
+  double offered_gbps_per_host = 4.0;
+  std::uint64_t seed = 1;
+
+  /// Record one PacketTrace per delivered measured packet (up to
+  /// trace_limit), retrievable via Simulator::packet_traces().
+  bool record_packet_traces = false;
+  std::size_t trace_limit = 100'000;
+
+  /// Nanoseconds per simulator cycle (= flit serialization time).
+  double cycle_ns() const { return flit_bits / link_bw_gbps; }
+  std::uint64_t router_delay_cycles() const {
+    return static_cast<std::uint64_t>((router_delay_ns + cycle_ns() - 1e-9) / cycle_ns());
+  }
+  std::uint64_t link_delay_cycles() const {
+    return static_cast<std::uint64_t>((link_delay_ns + cycle_ns() - 1e-9) / cycle_ns());
+  }
+  /// Offered load in flits per cycle per host (1.0 saturates a link).
+  double injection_rate_flits_per_cycle() const {
+    return offered_gbps_per_host / link_bw_gbps;
+  }
+  /// Bernoulli packet-generation probability per host per cycle.
+  double packet_rate_per_cycle() const {
+    return injection_rate_flits_per_cycle() / static_cast<double>(packet_flits);
+  }
+  /// Convert a measured flits/cycle/host rate back to Gbit/s per host.
+  double flits_per_cycle_to_gbps(double rate) const { return rate * link_bw_gbps; }
+
+  void validate() const {
+    DSN_REQUIRE(vcs >= 1, "need at least one virtual channel");
+    DSN_REQUIRE(packet_flits >= 1, "packets need at least one flit");
+    DSN_REQUIRE(buffer_flits >= 1, "buffers need at least one flit");
+    DSN_REQUIRE(switching == SwitchingMode::kWormhole || buffer_flits >= packet_flits,
+                "virtual cut-through needs buffers holding a whole packet");
+    DSN_REQUIRE(hosts_per_switch >= 1, "need at least one host per switch");
+    DSN_REQUIRE(link_bw_gbps > 0 && flit_bits > 0, "bandwidth and flit size must be positive");
+    DSN_REQUIRE(offered_gbps_per_host >= 0, "offered load must be non-negative");
+  }
+};
+
+}  // namespace dsn

@@ -1,0 +1,260 @@
+#include "dsn/sim/policy.hpp"
+
+#include "dsn/common/math.hpp"
+#include "dsn/routing/dor.hpp"
+
+namespace dsn {
+
+// ---------------------------------------------------------------------------
+// AdaptiveUpDownPolicy — state bit 0 holds the escape "down-only" flag.
+// ---------------------------------------------------------------------------
+
+AdaptiveUpDownPolicy::AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs)
+    : routing_(&routing), vcs_(vcs) {
+  DSN_REQUIRE(vcs >= 2, "adaptive policy needs >= 2 VCs (escape + adaptive)");
+}
+
+void AdaptiveUpDownPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
+                                      std::vector<RouteCandidate>& out) const {
+  out.clear();
+  // Adaptive minimal hops on VCs 1..V-1, preferred over the escape VC.
+  for (const NodeId v : routing_->minimal_next_hops(u, t)) {
+    for (std::uint32_t vc = 1; vc < vcs_; ++vc) {
+      out.push_back({v, vc, /*escape=*/false});
+    }
+  }
+  // Escape hop on VC 0 following up*/down*, honoring the down-only state.
+  const bool down_only = (state & 1u) != 0;
+  const NodeId esc = routing_->escape_next_hop(u, t, down_only);
+  if (esc != kInvalidNode) {
+    out.push_back({esc, 0, /*escape=*/true});
+  }
+}
+
+std::uint8_t AdaptiveUpDownPolicy::next_state(NodeId u, NodeId v,
+                                              const RouteCandidate& chosen,
+                                              std::uint8_t /*state*/) const {
+  // The down-only restriction applies to *consecutive* escape hops: virtual
+  // cut-through absorbs whole packets on adaptive channels, which resets the
+  // escape history (Duato's theory for VCT).
+  if (!chosen.escape) return 0;
+  return routing_->escape_hop_is_down(u, v) ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// UpDownOnlyPolicy — state bit 0 holds the sticky down-only flag.
+// ---------------------------------------------------------------------------
+
+UpDownOnlyPolicy::UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs)
+    : routing_(&routing), vcs_(vcs) {
+  DSN_REQUIRE(vcs >= 1, "need at least one VC");
+}
+
+void UpDownOnlyPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
+                                  std::vector<RouteCandidate>& out) const {
+  out.clear();
+  const bool down_only = (state & 1u) != 0;
+  const NodeId v = routing_->escape_next_hop(u, t, down_only);
+  if (v == kInvalidNode) return;
+  for (std::uint32_t vc = 0; vc < vcs_; ++vc) {
+    out.push_back({v, vc, /*escape=*/true});
+  }
+}
+
+std::uint8_t UpDownOnlyPolicy::next_state(NodeId u, NodeId v,
+                                          const RouteCandidate& /*chosen*/,
+                                          std::uint8_t state) const {
+  // Plain up*/down*: once the path turns downward it stays downward.
+  return (state & 1u) != 0 || routing_->escape_hop_is_down(u, v) ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// DsnCustomPolicy — state holds the routing phase.
+// ---------------------------------------------------------------------------
+
+DsnCustomPolicy::DsnCustomPolicy(const Dsn& dsn, std::uint32_t vcs)
+    : dsn_(&dsn), vcs_per_class_(vcs / 4) {
+  DSN_REQUIRE(vcs >= 4 && vcs % 4 == 0, "dsn-custom needs a multiple of 4 VCs");
+}
+
+std::uint32_t DsnCustomPolicy::level_for_distance(std::uint64_t d) const {
+  // Real-arithmetic l = floor(log(n/d)) + 1: smallest l with n <= d * 2^l.
+  const std::uint32_t n = dsn_->n();
+  const std::uint32_t p = dsn_->p();
+  for (std::uint32_t l = 1; l < p; ++l) {
+    if (n <= (d << l)) return l;
+  }
+  return p;
+}
+
+RouteCandidate DsnCustomPolicy::finish_hop(NodeId u, NodeId t) const {
+  const Dsn& d = *dsn_;
+  const std::uint32_t n = d.n();
+  const std::uint32_t p = d.p();
+  const std::uint64_t cw = ring_cw_distance(u, t, n);
+  const std::uint64_t ccw = n - cw;
+  const bool forward = cw <= ccw;
+  const NodeId v = forward ? d.succ(u) : d.pred(u);
+  // Hops fully inside the Extra region [0, 2p] with the destination inside it
+  // ride the Extra channels, which breaks the FINISH ring cycle (§V-A).
+  const bool region = t < 2 * p && u <= 2 * p && v <= 2 * p;
+  return {v, region ? kVcExtra : kVcFinish, /*escape=*/false};
+}
+
+DsnCustomPolicy::Decision DsnCustomPolicy::decide(NodeId u, NodeId t,
+                                                  std::uint8_t phase) const {
+  const Dsn& d = *dsn_;
+  const std::uint32_t n = d.n();
+  const std::uint32_t p = d.p();
+  const std::uint32_t x = d.x();
+  DSN_REQUIRE(u != t, "no hop needed when already at destination");
+
+  const std::uint64_t cw = ring_cw_distance(u, t, n);
+
+  if (phase == kPhasePreWork) {
+    const std::uint32_t l = level_for_distance(cw);
+    if (d.level(u) > l) {
+      return {{d.pred(u), kVcUp, false}, kPhasePreWork};
+    }
+    phase = kPhaseMain;  // fall through
+  }
+
+  if (phase == kPhaseMain) {
+    if (cw > p) {
+      const std::uint32_t lu = d.level(u);
+      if (lu == x + 1) {
+        // No shortcut at this level: the LOOP-STOP condition fires and the
+        // remaining (bounded) distance is covered by FINISH.
+        return {finish_hop(u, t), kPhaseFinish};
+      }
+      if (lu <= x) {
+        // Greedy take rule: use the node's own shortcut whenever it does not
+        // overshoot (robust to the integer-span level off-by-one); overshoot
+        // at any level is dodged by stepping forward (§V-D) — MAIN never
+        // steps backward, so no oscillation is possible.
+        const NodeId v = d.shortcut_target(u);
+        const std::uint64_t span = ring_cw_distance(u, v, n);
+        if (span <= cw) {
+          return {{v, kVcMain, false}, kPhaseMain};
+        }
+      }
+      return {{d.succ(u), kVcMain, false}, kPhaseMain};
+    }
+    phase = kPhaseFinish;  // close enough — fall through
+  }
+
+  return {finish_hop(u, t), kPhaseFinish};
+}
+
+void DsnCustomPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
+                                 std::vector<RouteCandidate>& out) const {
+  out.clear();
+  const RouteCandidate base = decide(u, t, state).candidate;
+  // Expand the channel class into its vcs_per_class physical VCs.
+  for (std::uint32_t k = 0; k < vcs_per_class_; ++k) {
+    out.push_back({base.next, base.vc * vcs_per_class_ + k, base.escape});
+  }
+}
+
+std::uint8_t DsnCustomPolicy::next_state(NodeId /*u*/, NodeId /*v*/,
+                                         const RouteCandidate& chosen,
+                                         std::uint8_t /*state*/) const {
+  // The phase transition is recomputed by decide() at the next switch; we
+  // only need to persist the monotone phase. Derive it from the VC class of
+  // the chosen candidate, which encodes the phase unambiguously.
+  switch (chosen.vc / vcs_per_class_) {
+    case kVcUp:
+      return kPhasePreWork;
+    case kVcMain:
+      return kPhaseMain;
+    default:
+      return kPhaseFinish;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RingClockwisePolicy — intentionally unsafe negative control.
+// ---------------------------------------------------------------------------
+
+RingClockwisePolicy::RingClockwisePolicy(const Topology& ring) : topo_(&ring) {
+  DSN_REQUIRE(ring.kind == TopologyKind::kRing, "needs a plain ring topology");
+}
+
+void RingClockwisePolicy::candidates(NodeId u, NodeId t, std::uint8_t /*state*/,
+                                     std::vector<RouteCandidate>& out) const {
+  out.clear();
+  if (u == t) return;
+  const NodeId succ = (u + 1) % topo_->num_nodes();
+  // Single VC, single direction: the textbook deadlocked ring.
+  out.push_back({succ, 0, /*escape=*/false});
+}
+
+std::uint8_t RingClockwisePolicy::next_state(NodeId, NodeId, const RouteCandidate&,
+                                             std::uint8_t) const {
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// TorusDorPolicy — state encodes (active dimension + 1) << 1 | crossed, so
+// the dateline bit resets whenever the packet turns into a new dimension.
+// ---------------------------------------------------------------------------
+
+TorusDorPolicy::TorusDorPolicy(const Topology& torus, std::uint32_t vcs)
+    : topo_(&torus) {
+  DSN_REQUIRE(torus.kind == TopologyKind::kTorus2D ||
+                  torus.kind == TopologyKind::kTorus3D,
+              "TorusDorPolicy needs a torus topology");
+  DSN_REQUIRE(vcs >= 2 * torus.dims.size(),
+              "dateline DOR needs 2 VCs per torus dimension");
+}
+
+std::uint32_t TorusDorPolicy::coord(NodeId v, std::size_t d) const {
+  NodeId rest = v;
+  for (std::size_t k = 0; k < d; ++k) rest /= topo_->dims[k];
+  return rest % topo_->dims[d];
+}
+
+std::size_t TorusDorPolicy::active_dimension(NodeId u, NodeId t) const {
+  for (std::size_t d = 0; d < topo_->dims.size(); ++d) {
+    if (coord(u, d) != coord(t, d)) return d;
+  }
+  return topo_->dims.size();
+}
+
+void TorusDorPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
+                                std::vector<RouteCandidate>& out) const {
+  out.clear();
+  const NodeId next = torus_dor_next_hop(*topo_, u, t);
+  if (next == kInvalidNode) return;
+  const std::size_t dim = active_dimension(u, t);
+  const bool crossed =
+      static_cast<std::size_t>(state >> 1) == dim + 1 && (state & 1u) != 0;
+  out.push_back({next, static_cast<std::uint32_t>(2 * dim + (crossed ? 1 : 0)),
+                 /*escape=*/false});
+}
+
+std::uint8_t TorusDorPolicy::next_state(NodeId u, NodeId v,
+                                        const RouteCandidate& /*chosen*/,
+                                        std::uint8_t state) const {
+  const std::size_t rank = topo_->dims.size();
+  // Which dimension did the hop move in?
+  std::size_t dim = rank;
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (coord(u, d) != coord(v, d)) {
+      dim = d;
+      break;
+    }
+  }
+  if (dim == rank) return 0;
+  const bool same_dim = static_cast<std::size_t>(state >> 1) == dim + 1;
+  const bool prev_crossed = same_dim && (state & 1u) != 0;
+  const std::uint32_t cu = coord(u, dim);
+  const std::uint32_t cv = coord(v, dim);
+  const std::uint32_t size = topo_->dims[dim];
+  // Wrap hops (size-1 <-> 0) cross the dateline of the dimension.
+  const bool wrap = (cu == size - 1 && cv == 0) || (cu == 0 && cv == size - 1);
+  return static_cast<std::uint8_t>(((dim + 1) << 1) |
+                                   ((prev_crossed || wrap) ? 1u : 0u));
+}
+
+}  // namespace dsn

@@ -1,0 +1,175 @@
+// Per-hop routing decisions for the simulator, decoupled from the engine.
+//
+// AdaptiveUpDownPolicy implements the paper's §VII-A scheme [24]: fully
+// adaptive minimal routing on VCs 1..V-1 with up*/down* shortest legal paths
+// as the escape layer on VC 0 (Duato's methodology for virtual cut-through).
+//
+// DsnCustomPolicy implements the paper's deadlock-free custom routing
+// (Theorem 3, DSN-V realization): the Fig. 2 three-phase algorithm with the
+// phase carried in the packet's routing state and mapped onto four VC
+// classes — PRE-WORK on the Up class, MAIN on the main class, FINISH on the
+// finish class with Extra channels near node 0. Phases only ever advance
+// (PRE-WORK -> MAIN -> FINISH), which is what makes the channel dependency
+// graph acyclic.
+//
+// Each policy threads a small opaque per-packet `state` byte through the
+// engine: the adaptive policy stores its escape down-only bit, the custom
+// policy stores the current phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/topology/dsn.hpp"
+
+namespace dsn {
+
+/// One admissible (next switch, virtual channel) pair, in preference order.
+struct RouteCandidate {
+  NodeId next;
+  std::uint32_t vc;
+  bool escape;  ///< true when this candidate uses the escape layer
+};
+
+class SimRoutingPolicy {
+ public:
+  virtual ~SimRoutingPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Routing state of a freshly injected packet.
+  virtual std::uint8_t initial_state() const { return 0; }
+
+  /// Fill `out` with admissible candidates for a packet at switch u headed to
+  /// switch t, given the packet's routing state.
+  virtual void candidates(NodeId u, NodeId t, std::uint8_t state,
+                          std::vector<RouteCandidate>& out) const = 0;
+
+  /// New routing state after taking hop u -> v via `chosen`.
+  virtual std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                                  std::uint8_t state) const = 0;
+};
+
+class AdaptiveUpDownPolicy final : public SimRoutingPolicy {
+ public:
+  /// vcs must be >= 2 (one escape VC + at least one adaptive VC).
+  AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs);
+
+  const char* name() const override { return "adaptive-updown"; }
+  void candidates(NodeId u, NodeId t, std::uint8_t state,
+                  std::vector<RouteCandidate>& out) const override;
+  std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                          std::uint8_t state) const override;
+
+ private:
+  const SimRouting* routing_;
+  std::uint32_t vcs_;
+};
+
+/// Deterministic up*/down*-only routing on all VCs (the routing the paper
+/// compares its custom routing against in the traffic-balance remark).
+class UpDownOnlyPolicy final : public SimRoutingPolicy {
+ public:
+  UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs);
+
+  const char* name() const override { return "updown-only"; }
+  void candidates(NodeId u, NodeId t, std::uint8_t state,
+                  std::vector<RouteCandidate>& out) const override;
+  std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                          std::uint8_t state) const override;
+
+ private:
+  const SimRouting* routing_;
+  std::uint32_t vcs_;
+};
+
+/// The DSN custom routing with per-packet phase state (DSN-V): requires
+/// exactly 4 VCs. Uses the overshoot-avoiding variant of §V-D in MAIN so the
+/// FINISH phase only ever walks forward or backward a short distance.
+class DsnCustomPolicy final : public SimRoutingPolicy {
+ public:
+  /// vcs must be a multiple of 4; with vcs = 4k each channel class owns k
+  /// virtual channels (class c uses VCs [c*k, (c+1)*k)), preserving the
+  /// Theorem 3 class separation while relieving per-class HOL blocking.
+  explicit DsnCustomPolicy(const Dsn& dsn, std::uint32_t vcs = 4);
+
+  const char* name() const override { return "dsn-custom"; }
+  std::uint8_t initial_state() const override { return kPhasePreWork; }
+  void candidates(NodeId u, NodeId t, std::uint8_t state,
+                  std::vector<RouteCandidate>& out) const override;
+  std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                          std::uint8_t state) const override;
+
+  /// Phase values stored in the packet routing state.
+  static constexpr std::uint8_t kPhasePreWork = 0;
+  static constexpr std::uint8_t kPhaseMain = 1;
+  static constexpr std::uint8_t kPhaseFinish = 2;
+
+  /// VC classes (base VC = class index * vcs_per_class).
+  static constexpr std::uint32_t kVcExtra = 0;
+  static constexpr std::uint32_t kVcUp = 1;
+  static constexpr std::uint32_t kVcMain = 2;
+  static constexpr std::uint32_t kVcFinish = 3;
+
+  /// Deterministic next hop, VC class and successor phase for a packet at u
+  /// headed to t in `phase`. The candidate's vc field holds the class.
+  struct Decision {
+    RouteCandidate candidate;
+    std::uint8_t next_phase;
+  };
+  Decision decide(NodeId u, NodeId t, std::uint8_t phase) const;
+
+  std::uint32_t vcs_per_class() const { return vcs_per_class_; }
+
+ private:
+  std::uint32_t level_for_distance(std::uint64_t d) const;
+  RouteCandidate finish_hop(NodeId u, NodeId t) const;
+  const Dsn* dsn_;
+  std::uint32_t vcs_per_class_;
+};
+
+/// Deliberately deadlock-PRONE policy for negative-control experiments: on a
+/// ring topology, always route clockwise on a single VC. Its channel
+/// dependency graph is the full directed ring cycle, so under load the
+/// network wedges — which the simulator's watchdog must detect. Never use
+/// outside tests/demos.
+class RingClockwisePolicy final : public SimRoutingPolicy {
+ public:
+  explicit RingClockwisePolicy(const Topology& ring);
+
+  const char* name() const override { return "ring-clockwise-unsafe"; }
+  void candidates(NodeId u, NodeId t, std::uint8_t state,
+                  std::vector<RouteCandidate>& out) const override;
+  std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                          std::uint8_t state) const override;
+
+ private:
+  const Topology* topo_;
+};
+
+/// Deterministic dimension-order routing on a torus with dateline virtual
+/// channels: traffic in dimension d uses VCs {2d, 2d+1}, starting on the even
+/// VC and switching to the odd one after crossing the wraparound link of that
+/// dimension — the classic deadlock-free DOR scheme. Needs vcs >= 2 * rank.
+/// Used by the torus-routing ablation (the paper runs the topology-agnostic
+/// adaptive scheme on the torus; this shows what a native router changes).
+class TorusDorPolicy final : public SimRoutingPolicy {
+ public:
+  TorusDorPolicy(const Topology& torus, std::uint32_t vcs);
+
+  const char* name() const override { return "torus-dor"; }
+  void candidates(NodeId u, NodeId t, std::uint8_t state,
+                  std::vector<RouteCandidate>& out) const override;
+  std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
+                          std::uint8_t state) const override;
+
+ private:
+  /// Coordinate of node v in dimension d.
+  std::uint32_t coord(NodeId v, std::size_t d) const;
+  /// First dimension in which u and t differ, or rank() if u == t.
+  std::size_t active_dimension(NodeId u, NodeId t) const;
+
+  const Topology* topo_;
+};
+
+}  // namespace dsn

@@ -1,0 +1,177 @@
+// Cycle-accurate flit-level network simulator with virtual cut-through
+// switching, per-VC input buffering and credit-based flow control.
+//
+// Model summary (one cycle = one flit serialization time on a link):
+//  - Input-queued switches; each input port has `vcs` FIFO buffers of
+//    `buffer_flits` flits guarded by credits held at the upstream sender.
+//  - A head flit becomes routable router_delay after arriving (covering
+//    routing, VC allocation, switch allocation and crossbar setup, ~100 ns).
+//  - VC allocation implements virtual cut-through: an output VC is granted
+//    only when it is unowned AND the downstream buffer has room for the
+//    entire packet, so a blocked packet is always fully absorbed.
+//  - Switch allocation moves at most one flit per input port and one flit
+//    per output port per cycle (round-robin arbiters with rotating offsets).
+//  - Links carry one flit per cycle with link_delay latency; credits return
+//    with the same latency.
+//  - Hosts inject via dedicated injection ports (NIC holds packet-granular
+//    source queues, open-loop Bernoulli generation) and eject via dedicated
+//    ejection ports with sink bandwidth of one flit per cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dsn/sim/config.hpp"
+#include "dsn/sim/packet.hpp"
+#include "dsn/sim/policy.hpp"
+#include "dsn/sim/trace.hpp"
+#include "dsn/sim/traffic.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Outcome of one simulation run at a fixed offered load.
+struct SimResult {
+  double offered_gbps_per_host = 0.0;
+  double accepted_gbps_per_host = 0.0;  ///< ejected flits during measurement
+  double avg_latency_ns = 0.0;          ///< generation -> tail delivered, measured packets
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double avg_hops = 0.0;                ///< switch-to-switch hops, measured packets
+  std::uint64_t packets_measured = 0;   ///< generated inside the window
+  std::uint64_t packets_delivered = 0;  ///< of the measured ones
+  bool drained = false;    ///< all measured packets delivered before the drain cap
+  bool deadlock = false;   ///< watchdog saw in-flight flits make no progress
+  std::uint64_t cycles_run = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Topology& topo, const SimRoutingPolicy& policy,
+            const TrafficPattern& traffic, const SimConfig& config);
+
+  /// Run the configured warmup + measurement + drain phases.
+  SimResult run();
+
+  /// Replace the open-loop Bernoulli generators with an explicit injection
+  /// schedule (entries must be sorted by cycle; packets whose cycle falls in
+  /// the measurement window are measured). Call before run().
+  void set_injection_trace(std::vector<TraceEntry> trace);
+
+  /// Flits carried per directed link half during the measurement window
+  /// (index = 2*link + dir with dir 0: u->v, 1: v->u); for the
+  /// traffic-balance analysis of the custom routing.
+  const std::vector<std::uint64_t>& link_flit_counts() const { return link_flits_; }
+
+  /// Per-packet traces of delivered measured packets (empty unless
+  /// SimConfig::record_packet_traces is set).
+  const std::vector<PacketTrace>& packet_traces() const { return traces_; }
+
+  std::uint32_t num_hosts() const { return num_hosts_; }
+
+ private:
+  struct InputVc {
+    std::deque<Flit> buffer;
+    std::deque<std::uint64_t> head_ready;  ///< routable cycles of queued head flits
+    enum class State : std::uint8_t { kIdle, kActive } state = State::kIdle;
+    std::uint32_t out_port = 0;
+    std::uint32_t out_vc = 0;
+  };
+
+  struct OutputVc {
+    bool owned = false;
+    std::uint32_t owner_port = 0;
+    std::uint32_t owner_vc = 0;
+    std::uint32_t credits = 0;
+  };
+
+  struct Arrival {
+    std::uint64_t cycle;
+    Flit flit;
+    std::uint32_t vc;
+  };
+
+  struct CreditReturn {
+    std::uint64_t cycle;
+    std::uint32_t count;
+  };
+
+  struct SwitchState {
+    std::uint32_t num_net_ports = 0;   ///< network in/out ports (adjacency order)
+    std::uint32_t num_ports = 0;       ///< net + host ports
+    std::vector<InputVc> in;           ///< [port * vcs + vc]
+    std::vector<OutputVc> out;         ///< [port * vcs + vc]
+    std::vector<std::deque<Arrival>> wire;          ///< per input port
+    std::vector<std::deque<CreditReturn>> credits;  ///< per (out port * vcs + vc)
+    std::vector<std::uint32_t> sa_rr;  ///< round-robin pointer per output port
+  };
+
+  struct NicState {
+    std::deque<PacketSlot> source_queue;
+    PacketSlot streaming = 0;
+    bool busy = false;
+    std::uint32_t flits_sent = 0;
+    std::uint32_t stream_vc = 0;
+    std::vector<std::uint32_t> credits;  ///< per VC at the injection port
+    Rng rng{0};
+  };
+
+  PacketSlot alloc_packet();
+  void free_packet(PacketSlot slot);
+  void generate_traffic(std::uint64_t now);
+  void nic_stream(std::uint64_t now);
+  void deliver_wire_flits(std::uint64_t now);
+  void apply_credit_returns(std::uint64_t now);
+  void allocate_vcs(std::uint64_t now);
+  void switch_allocation(std::uint64_t now);
+  bool try_allocate(NodeId sw, std::uint32_t in_port, std::uint32_t vc,
+                    std::uint64_t now);
+
+  const Topology* topo_;
+  const SimRoutingPolicy* policy_;
+  const TrafficPattern* traffic_;
+  SimConfig config_;
+
+  std::uint32_t num_switches_ = 0;
+  std::uint32_t num_hosts_ = 0;
+  std::uint64_t router_delay_ = 0;
+  std::uint64_t link_delay_ = 0;
+
+  std::vector<SwitchState> switches_;
+  std::vector<NicState> nics_;
+  /// Reverse port map: for (switch, net in_port) the upstream (switch, out_port).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> upstream_;
+  /// Forward port map: for (switch, net out_port) the downstream (switch, in_port).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> downstream_;
+  /// Directed link index for (switch, net out_port), for link_flits_.
+  std::vector<std::vector<std::uint32_t>> out_link_index_;
+
+  std::vector<Packet> packets_;
+  std::vector<PacketSlot> free_slots_;
+  std::uint64_t next_packet_id_ = 0;
+
+  std::vector<std::uint64_t> link_flits_;
+  std::vector<PacketTrace> traces_;
+  std::vector<std::uint32_t> measured_latencies_;  ///< cycles
+  std::uint64_t measured_generated_ = 0;
+  std::uint64_t measured_delivered_ = 0;
+  std::uint64_t measured_hops_ = 0;
+  std::uint64_t ejected_flits_in_window_ = 0;
+  std::uint64_t in_flight_packets_ = 0;
+  std::uint64_t last_progress_cycle_ = 0;
+
+  std::vector<RouteCandidate> scratch_candidates_;
+  std::vector<std::uint8_t> input_used_;  ///< per-switch SA scratch
+
+  std::vector<TraceEntry> injection_trace_;
+  std::size_t trace_cursor_ = 0;
+  bool use_trace_ = false;
+};
+
+/// Convenience wrapper: run one simulation point.
+SimResult run_simulation(const Topology& topo, const SimRoutingPolicy& policy,
+                         const TrafficPattern& traffic, const SimConfig& config);
+
+}  // namespace dsn

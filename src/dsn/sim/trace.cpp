@@ -1,0 +1,43 @@
+#include "dsn/sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn {
+
+std::vector<TraceEntry> parse_injection_trace(std::istream& is) {
+  std::vector<TraceEntry> trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    TraceEntry e;
+    DSN_REQUIRE(static_cast<bool>(ls >> e.cycle >> e.src >> e.dst),
+                "malformed trace line " + std::to_string(lineno) + ": " + line);
+    trace.push_back(e);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) { return a.cycle < b.cycle; });
+  return trace;
+}
+
+std::vector<TraceEntry> parse_injection_trace_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_injection_trace(is);
+}
+
+std::string format_injection_trace(const std::vector<TraceEntry>& trace) {
+  std::ostringstream os;
+  os << "# cycle src_host dst_host\n";
+  for (const TraceEntry& e : trace) {
+    os << e.cycle << " " << e.src << " " << e.dst << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsn

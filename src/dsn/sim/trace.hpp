@@ -1,0 +1,29 @@
+// Trace-driven injection: replay an explicit (cycle, src_host, dst_host)
+// schedule instead of the open-loop Bernoulli generators — for reproducing
+// application traces or constructing adversarial workloads in tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dsn/common/types.hpp"
+
+namespace dsn {
+
+struct TraceEntry {
+  std::uint64_t cycle = 0;
+  HostId src = 0;
+  HostId dst = 0;
+};
+
+/// Parse a whitespace-separated trace ("cycle src dst" per line; '#' comment
+/// lines allowed). Entries are sorted by cycle. Throws on malformed input.
+std::vector<TraceEntry> parse_injection_trace(std::istream& is);
+std::vector<TraceEntry> parse_injection_trace_text(const std::string& text);
+
+/// Render a trace in the same format.
+std::string format_injection_trace(const std::vector<TraceEntry>& trace);
+
+}  // namespace dsn

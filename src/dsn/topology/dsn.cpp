@@ -1,0 +1,62 @@
+#include "dsn/topology/dsn.hpp"
+
+#include "dsn/common/math.hpp"
+
+namespace dsn {
+
+Dsn::Dsn(std::uint32_t n, std::uint32_t x) : n_(n), p_(0), x_(x), r_(0) {
+  DSN_REQUIRE(n >= 8, "DSN needs at least 8 nodes (p >= 3)");
+  p_ = ilog2_ceil(n);
+  r_ = n % p_;
+  DSN_REQUIRE(x >= 1 && x <= p_ - 1, "DSN requires 1 <= x <= p-1");
+
+  shortcut_target_.assign(n_, kInvalidNode);
+  incoming_shortcuts_.assign(n_, {});
+
+  topology_.name = "dsn-" + std::to_string(x_) + "-" + std::to_string(n_);
+  topology_.kind = TopologyKind::kDsn;
+  topology_.graph = Graph(n_);
+
+  // Ring links.
+  for (NodeId i = 0; i < n_; ++i) {
+    topology_.graph.add_link(i, succ(i));
+    topology_.link_roles.push_back(LinkRole::kRing);
+  }
+
+  // Level-l shortcuts: node i (level l <= x) connects to the first clockwise
+  // node j with level l+1 at ring distance >= floor(n/2^l).
+  for (NodeId i = 0; i < n_; ++i) {
+    const std::uint32_t l = level(i);
+    if (l > x_) continue;
+    const std::uint32_t min_span = shortcut_min_span(l);
+    // Candidates with level l+1 satisfy j mod p == l; scan clockwise from the
+    // minimum span. The scan is bounded by n (levels repeat every p ids, but
+    // the incomplete final super node can shift the residue pattern once).
+    NodeId j = static_cast<NodeId>((static_cast<std::uint64_t>(i) + min_span) % n_);
+    std::uint32_t scanned = 0;
+    while (j % p_ != l) {
+      j = succ(j);
+      ++scanned;
+      DSN_ASSERT(scanned <= n_, "no level-(l+1) node found on the ring");
+    }
+    DSN_ASSERT(j != i, "shortcut degenerated to a self loop");
+    shortcut_target_[i] = j;
+    incoming_shortcuts_[j].push_back(i);
+    // A minimal-span shortcut can coincide with the ring link (i, i+1) when
+    // floor(n/2^l) == 1; keep the structural target but do not duplicate the
+    // physical link.
+    if (!topology_.graph.has_link(i, j)) {
+      topology_.graph.add_link(i, j);
+      topology_.link_roles.push_back(LinkRole::kShortcut);
+    }
+  }
+}
+
+Topology make_dsn(std::uint32_t n, std::uint32_t x) { return Dsn(n, x).topology(); }
+
+std::uint32_t dsn_default_x(std::uint32_t n) {
+  DSN_REQUIRE(n >= 8, "DSN needs at least 8 nodes");
+  return ilog2_ceil(n) - 1;
+}
+
+}  // namespace dsn

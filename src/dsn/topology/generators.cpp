@@ -1,0 +1,355 @@
+#include "dsn/topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "dsn/common/math.hpp"
+#include "dsn/common/rng.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// Adds a link and records its role.
+void add_role_link(Topology& t, NodeId u, NodeId v, LinkRole role) {
+  t.graph.add_link(u, v);
+  t.link_roles.push_back(role);
+}
+
+/// Adds a link unless it already exists; records the role when added.
+bool add_role_link_unique(Topology& t, NodeId u, NodeId v, LinkRole role) {
+  if (t.graph.has_link(u, v)) return false;
+  add_role_link(t, u, v, role);
+  return true;
+}
+
+}  // namespace
+
+Topology make_ring(std::uint32_t n) {
+  DSN_REQUIRE(n >= 3, "ring needs at least 3 nodes");
+  Topology t{"ring-" + std::to_string(n), TopologyKind::kRing, Graph(n), {}, {}};
+  for (NodeId i = 0; i < n; ++i) add_role_link(t, i, (i + 1) % n, LinkRole::kRing);
+  return t;
+}
+
+Topology make_torus_2d(std::uint32_t w, std::uint32_t h) {
+  DSN_REQUIRE(w >= 2 && h >= 2, "torus dimensions must be >= 2");
+  const std::uint32_t n = w * h;
+  Topology t{"torus2d-" + std::to_string(w) + "x" + std::to_string(h),
+             TopologyKind::kTorus2D, Graph(n), {}, {w, h}};
+  const auto id = [w](std::uint32_t x, std::uint32_t y) { return y * w + x; };
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      // +x direction; wrap link when x == w-1 (skip duplicate when w == 2).
+      if (x + 1 < w) {
+        add_role_link(t, id(x, y), id(x + 1, y), LinkRole::kRing);
+      } else if (w > 2) {
+        add_role_link(t, id(x, y), id(0, y), LinkRole::kWrap);
+      }
+      if (y + 1 < h) {
+        add_role_link(t, id(x, y), id(x, y + 1), LinkRole::kRing);
+      } else if (h > 2) {
+        add_role_link(t, id(x, y), id(x, 0), LinkRole::kWrap);
+      }
+    }
+  }
+  return t;
+}
+
+Topology make_torus_2d_near_square(std::uint32_t n) {
+  DSN_REQUIRE(n >= 4, "torus needs at least 4 nodes");
+  std::uint32_t h = static_cast<std::uint32_t>(isqrt(n));
+  while (h >= 2 && n % h != 0) --h;
+  DSN_REQUIRE(h >= 2, "n has no factorization with both dims >= 2");
+  return make_torus_2d(n / h, h);
+}
+
+Topology make_torus_3d(std::uint32_t dx, std::uint32_t dy, std::uint32_t dz) {
+  DSN_REQUIRE(dx >= 2 && dy >= 2 && dz >= 2, "torus dimensions must be >= 2");
+  const std::uint32_t n = dx * dy * dz;
+  Topology t{"torus3d-" + std::to_string(dx) + "x" + std::to_string(dy) + "x" +
+                 std::to_string(dz),
+             TopologyKind::kTorus3D, Graph(n), {}, {dx, dy, dz}};
+  const auto id = [dx, dy](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return z * (dx * dy) + y * dx + x;
+  };
+  for (std::uint32_t z = 0; z < dz; ++z) {
+    for (std::uint32_t y = 0; y < dy; ++y) {
+      for (std::uint32_t x = 0; x < dx; ++x) {
+        if (x + 1 < dx)
+          add_role_link(t, id(x, y, z), id(x + 1, y, z), LinkRole::kRing);
+        else if (dx > 2)
+          add_role_link(t, id(x, y, z), id(0, y, z), LinkRole::kWrap);
+        if (y + 1 < dy)
+          add_role_link(t, id(x, y, z), id(x, y + 1, z), LinkRole::kRing);
+        else if (dy > 2)
+          add_role_link(t, id(x, y, z), id(x, 0, z), LinkRole::kWrap);
+        if (z + 1 < dz)
+          add_role_link(t, id(x, y, z), id(x, y, z + 1), LinkRole::kRing);
+        else if (dz > 2)
+          add_role_link(t, id(x, y, z), id(x, y, 0), LinkRole::kWrap);
+      }
+    }
+  }
+  return t;
+}
+
+Topology make_torus_3d_near_cube(std::uint32_t n) {
+  DSN_REQUIRE(n >= 8, "3-D torus needs at least 8 nodes");
+  // Pick dz = largest divisor <= cbrt(n), then factor n/dz near-square.
+  std::uint32_t dz = static_cast<std::uint32_t>(std::cbrt(static_cast<double>(n)) + 1e-9);
+  while (dz >= 2 && n % dz != 0) --dz;
+  DSN_REQUIRE(dz >= 2, "n has no 3-D factorization with all dims >= 2");
+  const std::uint32_t rest = n / dz;
+  std::uint32_t dy = static_cast<std::uint32_t>(isqrt(rest));
+  while (dy >= 2 && rest % dy != 0) --dy;
+  DSN_REQUIRE(dy >= 2, "n has no 3-D factorization with all dims >= 2");
+  return make_torus_3d(rest / dy, dy, dz);
+}
+
+Topology make_dln(std::uint32_t n, std::uint32_t x) {
+  DSN_REQUIRE(n >= 3, "DLN needs at least 3 nodes");
+  DSN_REQUIRE(x >= 2, "DLN degree parameter must be >= 2");
+  Topology t{"dln-" + std::to_string(x) + "-" + std::to_string(n), TopologyKind::kDln,
+             Graph(n), {}, {}};
+  for (NodeId i = 0; i < n; ++i) add_role_link(t, i, (i + 1) % n, LinkRole::kRing);
+  for (std::uint32_t k = 1; k + 2 <= x; ++k) {
+    const std::uint32_t span = n >> k;  // floor(n / 2^k)
+    if (span <= 1) break;               // further shortcuts collapse onto ring links
+    for (NodeId i = 0; i < n; ++i) {
+      add_role_link_unique(t, i, (i + span) % n, LinkRole::kShortcut);
+    }
+  }
+  return t;
+}
+
+Topology make_dln_random(std::uint32_t n, std::uint32_t x, std::uint32_t y,
+                         std::uint64_t seed) {
+  Topology t = make_dln(n, x);
+  t.kind = TopologyKind::kDlnRandom;
+  t.name = "dln-" + std::to_string(x) + "-" + std::to_string(y) + "-" + std::to_string(n);
+  Rng rng(seed);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (std::uint32_t m = 0; m < y; ++m) {
+    // Draw a random perfect matching avoiding existing links; retry the whole
+    // matching if a collision-free pairing cannot be completed.
+    constexpr int kMaxAttempts = 200;
+    bool done = false;
+    for (int attempt = 0; attempt < kMaxAttempts && !done; ++attempt) {
+      // Fisher-Yates shuffle.
+      for (std::uint32_t i = n - 1; i > 0; --i) {
+        const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+        std::swap(perm[i], perm[j]);
+      }
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      pairs.reserve(n / 2);
+      bool ok = true;
+      for (std::uint32_t i = 0; i + 1 < n; i += 2) {
+        const NodeId a = perm[i], b = perm[i + 1];
+        if (t.graph.has_link(a, b)) {
+          ok = false;
+          break;
+        }
+        pairs.emplace_back(a, b);
+      }
+      // Also reject duplicates within this matching draw (cannot happen for a
+      // matching, but keep the check cheap and explicit).
+      if (ok) {
+        for (const auto& [a, b] : pairs) add_role_link(t, a, b, LinkRole::kShortcut);
+        done = true;
+      }
+    }
+    DSN_REQUIRE(done, "could not draw a collision-free random matching");
+  }
+  return t;
+}
+
+Topology make_kleinberg(std::uint32_t side, std::uint32_t shortcuts_per_node,
+                        double alpha, std::uint64_t seed) {
+  DSN_REQUIRE(side >= 2, "grid side must be >= 2");
+  const std::uint32_t n = side * side;
+  Topology t{"kleinberg-" + std::to_string(side) + "x" + std::to_string(side),
+             TopologyKind::kKleinberg, Graph(n), {}, {side, side}};
+  const auto id = [side](std::uint32_t x, std::uint32_t y) { return y * side + x; };
+  for (std::uint32_t yy = 0; yy < side; ++yy) {
+    for (std::uint32_t xx = 0; xx < side; ++xx) {
+      if (xx + 1 < side) add_role_link(t, id(xx, yy), id(xx + 1, yy), LinkRole::kRing);
+      if (yy + 1 < side) add_role_link(t, id(xx, yy), id(xx, yy + 1), LinkRole::kRing);
+    }
+  }
+  Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::int64_t ux = u % side, uy = u / side;
+    // Build the d^-alpha distribution over all other nodes (n is small enough
+    // that the O(n) per-node scan is fine for analysis purposes).
+    std::vector<double> weight(n, 0.0);
+    double total = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const std::int64_t vx = v % side, vy = v / side;
+      const auto d = static_cast<double>(std::abs(ux - vx) + std::abs(uy - vy));
+      weight[v] = std::pow(d, -alpha);
+      total += weight[v];
+    }
+    for (std::uint32_t s = 0; s < shortcuts_per_node; ++s) {
+      double pick = rng.next_double() * total;
+      NodeId chosen = u == 0 ? 1 : 0;
+      for (NodeId v = 0; v < n; ++v) {
+        pick -= weight[v];
+        if (pick <= 0 && weight[v] > 0) {
+          chosen = v;
+          break;
+        }
+      }
+      add_role_link_unique(t, u, chosen, LinkRole::kShortcut);
+    }
+  }
+  return t;
+}
+
+Topology make_dln_random_endpoints(std::uint32_t n, std::uint32_t x, std::uint32_t y,
+                                   std::uint64_t seed) {
+  Topology t = make_dln(n, x);
+  t.kind = TopologyKind::kDlnRandom;
+  t.name = "dln-ep-" + std::to_string(x) + "-" + std::to_string(y) + "-" +
+           std::to_string(n);
+  Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t s = 0; s < y; ++s) {
+      // Draw until the endpoint is neither u nor already linked; a node
+      // cannot be adjacent to everyone at these densities.
+      NodeId v;
+      int guard = 0;
+      do {
+        v = static_cast<NodeId>(rng.next_below(n));
+        DSN_ASSERT(++guard < 10'000, "endpoint draw failed to converge");
+      } while (v == u || t.graph.has_link(u, v));
+      add_role_link(t, u, v, LinkRole::kShortcut);
+    }
+  }
+  return t;
+}
+
+Topology make_watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
+                             std::uint64_t seed) {
+  DSN_REQUIRE(n >= 4, "Watts-Strogatz needs at least 4 nodes");
+  DSN_REQUIRE(k >= 1 && 2 * k < n, "neighbor range k must satisfy 1 <= k < n/2");
+  DSN_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+  Topology t{"watts-strogatz-" + std::to_string(k) + "-" + std::to_string(n),
+             TopologyKind::kKleinberg, Graph(n), {}, {}};
+  Rng rng(seed);
+  for (std::uint32_t offset = 1; offset <= k; ++offset) {
+    for (NodeId u = 0; u < n; ++u) {
+      NodeId v = static_cast<NodeId>((u + offset) % n);
+      LinkRole role = offset == 1 ? LinkRole::kRing : LinkRole::kShortcut;
+      // Rewire with probability beta — or forcibly when a previous rewiring
+      // already created this lattice link, so the link count is preserved.
+      if (rng.bernoulli(beta) || t.graph.has_link(u, v)) {
+        // Retry on self loops / duplicates; with degree < n-1 a free target
+        // always exists, so the loop terminates.
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.next_below(n));
+        } while (w == u || t.graph.has_link(u, w));
+        v = w;
+        role = LinkRole::kShortcut;
+      }
+      t.graph.add_link(u, v);
+      t.link_roles.push_back(role);
+    }
+  }
+  return t;
+}
+
+Topology make_random_regular(std::uint32_t n, std::uint32_t degree, std::uint64_t seed) {
+  DSN_REQUIRE(degree >= 2 && degree < n, "degree must be in [2, n)");
+  DSN_REQUIRE(static_cast<std::uint64_t>(n) * degree % 2 == 0, "n*degree must be even");
+  Rng rng(seed);
+
+  // Configuration model with double-edge-swap repair: a plain restart scheme
+  // has acceptance probability ~exp(-(d-1)/2 - (d-1)^2/4), hopeless for d >= 5,
+  // so conflicting pairs are repaired by swapping endpoints with random
+  // partner pairs until the multigraph is simple.
+  const std::size_t num_pairs = static_cast<std::size_t>(n) * degree / 2;
+  std::vector<std::pair<NodeId, NodeId>> pairs(num_pairs);
+  std::set<std::pair<NodeId, NodeId>> edges;
+
+  const auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  const auto is_bad = [&](const std::pair<NodeId, NodeId>& pr) {
+    // Bad when self loop, or this normalized edge appears more than once.
+    return pr.first == pr.second;
+  };
+
+  constexpr int kMaxAttempts = 20;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(num_pairs * 2);
+    for (NodeId u = 0; u < n; ++u)
+      for (std::uint32_t d = 0; d < degree; ++d) stubs.push_back(u);
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
+      std::swap(stubs[i], stubs[j]);
+    }
+    edges.clear();
+    std::vector<std::size_t> bad;  // indices of conflicting pairs
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      pairs[i] = {stubs[2 * i], stubs[2 * i + 1]};
+      if (is_bad(pairs[i]) || !edges.insert(norm(pairs[i].first, pairs[i].second)).second) {
+        bad.push_back(i);
+      }
+    }
+
+    // Repair loop: swap a bad pair's second endpoint with a random pair's.
+    std::size_t budget = 200 * (bad.size() + 1);
+    while (!bad.empty() && budget-- > 0) {
+      const std::size_t bi = bad.back();
+      const std::size_t pj = static_cast<std::size_t>(rng.next_below(num_pairs));
+      if (pj == bi) continue;
+      auto [a1, b1] = pairs[bi];
+      auto [a2, b2] = pairs[pj];
+      // Proposed replacement pairs (a1, b2) and (a2, b1).
+      if (a1 == b2 || a2 == b1) continue;
+      const auto e1 = norm(a1, b2);
+      const auto e2 = norm(a2, b1);
+      if (e1 == e2 || edges.count(e1) || edges.count(e2)) continue;
+      // Remove the partner's (always valid) edge and the bad pair's edge if
+      // it was the registered copy.
+      edges.erase(norm(a2, b2));
+      const auto old_bad = norm(a1, b1);
+      // A bad pair is registered only if it was the first copy; erase is a
+      // no-op otherwise, which is exactly what we want.
+      if (a1 != b1) {
+        // Only erase when this index owned the registration, i.e. when the
+        // edge exists AND no other pair claims it. Simplest sound rule: if
+        // the edge exists, check whether another pair equals it.
+        bool another = false;
+        for (std::size_t k = 0; k < num_pairs && !another; ++k) {
+          if (k != bi && norm(pairs[k].first, pairs[k].second) == old_bad) another = true;
+        }
+        if (!another) edges.erase(old_bad);
+      }
+      pairs[bi] = {a1, b2};
+      pairs[pj] = {a2, b1};
+      edges.insert(e1);
+      edges.insert(e2);
+      bad.pop_back();
+    }
+
+    if (bad.empty() && edges.size() == num_pairs) {
+      Topology t{"random-regular-" + std::to_string(degree) + "-" + std::to_string(n),
+                 TopologyKind::kRandomRegular, Graph(n), {}, {}};
+      for (const auto& [a, b] : pairs) add_role_link(t, a, b, LinkRole::kShortcut);
+      return t;
+    }
+  }
+  throw PreconditionError("could not sample a simple random regular graph");
+}
+
+}  // namespace dsn

@@ -1,0 +1,67 @@
+// Factories for the non-DSN topologies: ring, tori, DLN-x, DLN-x-y ("RANDOM"),
+// Kleinberg's small-world grid, and random regular graphs. The DSN family
+// lives in dsn.hpp / dsn_ext.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Simple n-node ring.
+Topology make_ring(std::uint32_t n);
+
+/// 2-D torus of width w and height h (node id = y*w + x). Dimensions of size
+/// 1 are rejected; dimensions of size 2 use a single link (no parallel wrap).
+Topology make_torus_2d(std::uint32_t w, std::uint32_t h);
+
+/// 2-D torus with n nodes using the most nearly square factorization
+/// (h = largest divisor of n with h <= sqrt(n)).
+Topology make_torus_2d_near_square(std::uint32_t n);
+
+/// 3-D torus of dims x*y*z (node id = k*(x*y) + j*x + i).
+Topology make_torus_3d(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// 3-D torus with n nodes using the most nearly cubic factorization.
+Topology make_torus_3d_near_cube(std::uint32_t n);
+
+/// DLN-x [Koibuchi+ ISCA'12]: n-node ring plus, for every node i and every
+/// k = 1..x-2, a shortcut to (i + floor(n/2^k)) mod n. Duplicate edges are
+/// collapsed. Degree is x for x <= log n. DLN-2 is the plain ring.
+Topology make_dln(std::uint32_t n, std::uint32_t x);
+
+/// DLN-x-y: DLN-x plus y superposed uniform random perfect matchings, giving
+/// every node exactly y extra shortcut endpoints (the paper's "RANDOM"
+/// baseline DLN-2-2 has exact degree 4). Requires even n for exact degree;
+/// with odd n one node per matching is left unmatched. Matchings avoid self
+/// loops and duplicate links.
+Topology make_dln_random(std::uint32_t n, std::uint32_t x, std::uint32_t y,
+                         std::uint64_t seed);
+
+/// Kleinberg's small-world network: side*side grid (no wraparound) where every
+/// node gets `shortcuts_per_node` extra links drawn with probability
+/// proportional to (lattice distance)^-alpha (alpha = 2 in the paper).
+Topology make_kleinberg(std::uint32_t side, std::uint32_t shortcuts_per_node,
+                        double alpha, std::uint64_t seed);
+
+/// Random d-regular graph via the configuration model with edge-swap repair
+/// (Jellyfish-style). Requires n*d even and d < n.
+Topology make_random_regular(std::uint32_t n, std::uint32_t degree, std::uint64_t seed);
+
+/// Alternative reading of DLN-x-y [3]: each node originates y shortcuts to
+/// uniformly random endpoints (no matching structure), giving average degree
+/// x + 2y but a spread of node degrees. Used to check that the Figure 7-9
+/// comparisons are robust to the RANDOM construction's interpretation.
+Topology make_dln_random_endpoints(std::uint32_t n, std::uint32_t x, std::uint32_t y,
+                                   std::uint64_t seed);
+
+/// Watts-Strogatz small-world model [20]: ring lattice where every node links
+/// to its k nearest neighbors per side (degree 2k), then each lattice link's
+/// far endpoint is rewired to a uniform random node with probability beta.
+/// beta = 0 keeps the lattice (high clustering, long paths); beta = 1 is
+/// fully random. Self loops and duplicate links are re-drawn.
+Topology make_watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
+                             std::uint64_t seed);
+
+}  // namespace dsn

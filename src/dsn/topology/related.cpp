@@ -1,0 +1,71 @@
+#include "dsn/topology/related.hpp"
+
+namespace dsn {
+
+Topology make_generalized_de_bruijn(std::uint32_t n, std::uint32_t b) {
+  DSN_REQUIRE(n >= 4, "generalized De Bruijn needs at least 4 nodes");
+  DSN_REQUIRE(b >= 2, "base must be >= 2");
+  Topology t{"gdb-" + std::to_string(b) + "-" + std::to_string(n),
+             TopologyKind::kDln, Graph(n), {}, {}};
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t a = 0; a < b; ++a) {
+      const NodeId v = static_cast<NodeId>(
+          (static_cast<std::uint64_t>(b) * u + a) % n);
+      if (v == u) continue;
+      if (!t.graph.has_link(u, v)) {
+        t.graph.add_link(u, v);
+        t.link_roles.push_back(LinkRole::kShortcut);
+      }
+    }
+  }
+  return t;
+}
+
+Topology make_generalized_kautz(std::uint32_t n, std::uint32_t b) {
+  DSN_REQUIRE(n >= 4, "generalized Kautz needs at least 4 nodes");
+  DSN_REQUIRE(b >= 2, "base must be >= 2");
+  Topology t{"gkautz-" + std::to_string(b) + "-" + std::to_string(n),
+             TopologyKind::kDln, Graph(n), {}, {}};
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t a = 0; a < b; ++a) {
+      // v = (-b*u - a - 1) mod n, computed without signed arithmetic.
+      const std::uint64_t bu = static_cast<std::uint64_t>(b) * u % n;
+      const NodeId v = static_cast<NodeId>(
+          (n - bu + n - (a + 1) % n) % n);
+      if (v == u) continue;
+      if (!t.graph.has_link(u, v)) {
+        t.graph.add_link(u, v);
+        t.link_roles.push_back(LinkRole::kShortcut);
+      }
+    }
+  }
+  return t;
+}
+
+Topology make_cube_connected_cycles(std::uint32_t k) {
+  DSN_REQUIRE(k >= 3, "CCC needs cycle length k >= 3");
+  DSN_REQUIRE(k < 26, "CCC size would overflow");
+  const std::uint32_t cube = 1u << k;
+  const std::uint32_t n = k * cube;
+  Topology t{"ccc-" + std::to_string(k), TopologyKind::kDln, Graph(n), {}, {}};
+  const auto id = [k](std::uint32_t w, std::uint32_t i) { return w * k + i; };
+  for (std::uint32_t w = 0; w < cube; ++w) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      // Cycle links within the corner's ring.
+      const std::uint32_t j = (i + 1) % k;
+      if (!t.graph.has_link(id(w, i), id(w, j))) {
+        t.graph.add_link(id(w, i), id(w, j));
+        t.link_roles.push_back(LinkRole::kRing);
+      }
+      // Hypercube link along dimension i.
+      const std::uint32_t w2 = w ^ (1u << i);
+      if (w < w2) {
+        t.graph.add_link(id(w, i), id(w2, i));
+        t.link_roles.push_back(LinkRole::kShortcut);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace dsn

@@ -1,0 +1,31 @@
+// Related-work topologies from §III of the paper, so its diameter-and-degree
+// comparisons are reproducible:
+//  - generalized De Bruijn graphs (Imase-Itoh): any n, degree <= 2b,
+//    diameter ~ ceil(log_b n) — "De Bruijn has 12-and-4 for 3,072 vertices";
+//  - generalized Kautz graphs (Imase-Itoh): "Kautz has 11-and-4";
+//  - cube-connected cycles: constant degree 3 — "CCC has 23-and-3".
+#pragma once
+
+#include <cstdint>
+
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Generalized De Bruijn graph GD(n, b): directed edges u -> (b*u + a) mod n
+/// for a = 0..b-1, taken as undirected links (self loops dropped, parallel
+/// edges collapsed). Degree <= 2b; diameter <= ceil(log_b n).
+Topology make_generalized_de_bruijn(std::uint32_t n, std::uint32_t b);
+
+/// Generalized Kautz graph GK(n, b) (Imase-Itoh): directed edges
+/// u -> (-b*u - a - 1) mod n for a = 0..b-1, taken as undirected links.
+/// Degree <= 2b; diameter <= ceil(log_b n) and often one less than the
+/// generalized De Bruijn of the same size.
+Topology make_generalized_kautz(std::uint32_t n, std::uint32_t b);
+
+/// Cube-connected cycles CCC(k): each vertex of a k-cube is replaced by a
+/// k-cycle; node (w, i) links to (w, i±1 mod k) and to (w xor 2^i, i).
+/// n = k * 2^k nodes, uniform degree 3 (for k >= 3).
+Topology make_cube_connected_cycles(std::uint32_t k);
+
+}  // namespace dsn

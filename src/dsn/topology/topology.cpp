@@ -1,0 +1,35 @@
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kTorus2D: return "torus2d";
+    case TopologyKind::kTorus3D: return "torus3d";
+    case TopologyKind::kDln: return "dln";
+    case TopologyKind::kDlnRandom: return "dln-random";
+    case TopologyKind::kKleinberg: return "kleinberg";
+    case TopologyKind::kRandomRegular: return "random-regular";
+    case TopologyKind::kDsn: return "dsn";
+    case TopologyKind::kDsnD: return "dsn-d";
+    case TopologyKind::kDsnE: return "dsn-e";
+    case TopologyKind::kDsnFlex: return "dsn-flex";
+    case TopologyKind::kDsnBidir: return "dsn-bidir";
+  }
+  return "unknown";
+}
+
+const char* to_string(LinkRole role) {
+  switch (role) {
+    case LinkRole::kRing: return "ring";
+    case LinkRole::kShortcut: return "shortcut";
+    case LinkRole::kUp: return "up";
+    case LinkRole::kExtra: return "extra";
+    case LinkRole::kDLocal: return "dlocal";
+    case LinkRole::kWrap: return "wrap";
+  }
+  return "unknown";
+}
+
+}  // namespace dsn

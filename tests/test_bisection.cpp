@@ -1,0 +1,89 @@
+// Tests for the bisection estimator: exact values on structured graphs,
+// KL refinement improvements, and the topology comparison the interconnect
+// community cares about (random > dsn > torus > ring bisection).
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/graph/bisection.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(Bisection, CountCutLinks) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 0);
+  EXPECT_EQ(count_cut_links(g, {0, 0, 1, 1}), 2u);
+  EXPECT_EQ(count_cut_links(g, {0, 1, 0, 1}), 4u);
+  EXPECT_EQ(count_cut_links(g, {0, 0, 0, 0}), 0u);
+}
+
+TEST(Bisection, RingBisectionIsTwo) {
+  const Topology ring = make_ring(32);
+  const auto r = estimate_bisection(ring.graph);
+  EXPECT_EQ(r.cut_links, 2u);
+}
+
+TEST(Bisection, BalancePreserved) {
+  const Topology t = make_topology_by_name("dsn", 64);
+  const auto r = estimate_bisection(t.graph);
+  std::size_t ones = 0;
+  for (const auto s : r.side) ones += s;
+  EXPECT_EQ(ones, 32u);
+  EXPECT_EQ(count_cut_links(t.graph, r.side), r.cut_links);
+}
+
+TEST(Bisection, TorusBisectionMatchesTheory) {
+  // 8x8 torus: cutting along one dimension severs 2 * 8 = 16 links.
+  const Topology t = make_torus_2d(8, 8);
+  const auto r = estimate_bisection(t.graph, 1, 8);
+  EXPECT_LE(r.cut_links, 16u);
+  EXPECT_GE(r.cut_links, 8u);  // a trivial lower bound for a 4-regular torus
+}
+
+TEST(Bisection, KlRefinementNeverWorsens) {
+  const Topology t = make_topology_by_name("random", 64, 3);
+  std::vector<std::uint8_t> side(64, 0);
+  for (NodeId u = 32; u < 64; ++u) side[u] = 1;
+  const std::uint64_t before = count_cut_links(t.graph, side);
+  const auto refined = kernighan_lin_refine(t.graph, side);
+  EXPECT_LE(refined.cut_links, before);
+}
+
+TEST(Bisection, RandomBeatsTorusBeatsRing) {
+  // Higher bisection = better throughput scalability: the random topology
+  // has ~Theta(n) bisection, the 2-D torus ~Theta(sqrt n), the ring 2.
+  const std::uint32_t n = 256;
+  const auto ring = estimate_bisection(make_ring(n).graph);
+  const auto torus = estimate_bisection(make_topology_by_name("torus", n).graph);
+  const auto random = estimate_bisection(make_topology_by_name("random", n, 1).graph);
+  EXPECT_LT(ring.cut_links, torus.cut_links);
+  EXPECT_LT(torus.cut_links, random.cut_links);
+}
+
+TEST(Bisection, DsnBetweenTorusAndRandom) {
+  const std::uint32_t n = 256;
+  const auto torus = estimate_bisection(make_topology_by_name("torus", n).graph);
+  const auto dsn = estimate_bisection(make_topology_by_name("dsn", n).graph);
+  const auto random = estimate_bisection(make_topology_by_name("random", n, 1).graph);
+  EXPECT_GE(dsn.cut_links, torus.cut_links / 2);
+  EXPECT_LE(dsn.cut_links, random.cut_links * 2);
+}
+
+TEST(Bisection, RejectsOddN) {
+  const Topology t = make_ring(7);
+  EXPECT_THROW(estimate_bisection(t.graph), PreconditionError);
+}
+
+TEST(Bisection, PerNodeNormalization) {
+  BisectionResult r;
+  r.cut_links = 16;
+  r.side.assign(64, 0);
+  EXPECT_DOUBLE_EQ(r.per_node(), 0.5);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,144 @@
+// Channel-dependency-graph tests: the Theorem 3 deadlock-freedom claim for
+// the extended DSN routing (positive), the basic scheme as a negative
+// control, acyclicity of up*/down*, and unit tests of the CDG container.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/routing/cdg.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/routing/updown.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(Cdg, EmptyIsAcyclic) {
+  ChannelDependencyGraph cdg;
+  EXPECT_TRUE(cdg.is_acyclic());
+  EXPECT_EQ(cdg.num_channels(), 0u);
+}
+
+TEST(Cdg, SimpleChainIsAcyclic) {
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}, {2, 3, 0}});
+  EXPECT_TRUE(cdg.is_acyclic());
+  EXPECT_EQ(cdg.num_channels(), 3u);
+  EXPECT_EQ(cdg.num_dependencies(), 2u);
+}
+
+TEST(Cdg, TriangleOfRoutesIsCyclic) {
+  // Three two-hop routes around a 3-cycle create the classic deadlock cycle.
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{1, 2, 0}, {2, 0, 0}});
+  cdg.add_route({{2, 0, 0}, {0, 1, 0}});
+  EXPECT_FALSE(cdg.is_acyclic());
+  const auto cycle = cdg.find_cycle();
+  EXPECT_GE(cycle.size(), 3u);
+}
+
+TEST(Cdg, ChannelClassesSeparateDependencies) {
+  // The same physical cycle split across two classes has no cycle.
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{1, 2, 0}, {2, 0, 1}});  // breaks into class 1
+  cdg.add_route({{2, 0, 1}, {0, 1, 1}});
+  EXPECT_TRUE(cdg.is_acyclic());
+}
+
+TEST(Cdg, DuplicateDependenciesCollapsed) {
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  EXPECT_EQ(cdg.num_dependencies(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Theorem 3 and the negative control, across sizes.
+// --------------------------------------------------------------------------
+
+class DsnCdgTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DsnCdgTest, ExtendedSchemeIsDeadlockFree) {
+  const std::uint32_t n = GetParam();
+  const Dsn d(n, dsn_default_x(n));
+  const auto cdg = build_dsn_cdg(d, /*extended=*/true);
+  EXPECT_TRUE(cdg.is_acyclic()) << "n = " << n;
+}
+
+TEST_P(DsnCdgTest, BasicSchemeHasCycles) {
+  const std::uint32_t n = GetParam();
+  const Dsn d(n, dsn_default_x(n));
+  const auto cdg = build_dsn_cdg(d, /*extended=*/false);
+  EXPECT_FALSE(cdg.is_acyclic()) << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DsnCdgTest, ::testing::Values(32u, 64u, 100u, 128u));
+
+TEST(DsnCdg, ExtendedDeadlockFreeWithNearestPrework) {
+  // The Fact 3 PRE-WORK variant walks succ links in PRE-WORK as well; the
+  // class separation must still hold.
+  const Dsn d(64, dsn_default_x(64));
+  const auto cdg = build_dsn_cdg(d, /*extended=*/true, /*nearest_prework=*/true);
+  EXPECT_TRUE(cdg.is_acyclic());
+}
+
+TEST(DsnCdg, ChannelMappingUsesExpectedClasses) {
+  const Dsn d(64, dsn_default_x(64));
+  DsnRouter router(d);
+  bool saw_up = false, saw_main = false, saw_finish = false, saw_extra = false;
+  for (NodeId s = 0; s < 64; ++s) {
+    for (NodeId t = 0; t < 64; ++t) {
+      if (s == t) continue;
+      for (const Channel& c : dsn_route_channels_extended(d, router.route(s, t))) {
+        switch (c.cls) {
+          case kClassUp: saw_up = true; break;
+          case kClassMain: saw_main = true; break;
+          case kClassFinish: saw_finish = true; break;
+          case kClassExtra: saw_extra = true; break;
+          default: FAIL() << "unknown class";
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_finish);
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(DsnCdg, DsnDExpressRoutingAlsoDeadlockFree) {
+  // Extension result the paper defers to future work: the DSN-D express
+  // routing, with express hops riding their phase's channel class, keeps the
+  // CDG acyclic (express links only shorten the monotone local walks).
+  for (const std::uint32_t n : {64u, 100u, 128u}) {
+    const DsnD dd(n, 2);
+    ChannelDependencyGraph cdg;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        cdg.add_route(dsn_route_channels_extended(dd.base(), route_dsn_d(dd, s, t)));
+      }
+    }
+    EXPECT_TRUE(cdg.is_acyclic()) << "n = " << n;
+  }
+}
+
+// --------------------------------------------------------------------------
+// up*/down* escape layer.
+// --------------------------------------------------------------------------
+
+class UpDownCdgTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UpDownCdgTest, UpDownIsDeadlockFree) {
+  const Topology topo = make_topology_by_name(GetParam(), 64, 5);
+  const UpDownRouting ud(topo.graph, 0);
+  const auto cdg = build_updown_cdg(ud);
+  EXPECT_TRUE(cdg.is_acyclic()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, UpDownCdgTest,
+                         ::testing::Values("dsn", "torus", "random", "ring",
+                                           "random-regular"));
+
+}  // namespace
+}  // namespace dsn

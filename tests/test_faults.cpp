@@ -1,0 +1,90 @@
+// Tests for the fault-tolerance analysis: graph surgery helpers and the
+// degradation evaluators.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/faults.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(FaultSurgery, RemoveLinks) {
+  const Topology ring = make_ring(8);
+  const Graph g = remove_links(ring.graph, {0, 3});
+  EXPECT_EQ(g.num_links(), 6u);
+  EXPECT_FALSE(g.has_link(0, 1));
+  EXPECT_FALSE(g.has_link(3, 4));
+  EXPECT_TRUE(g.has_link(1, 2));
+}
+
+TEST(FaultSurgery, RemoveNodes) {
+  const Topology ring = make_ring(8);
+  const Graph g = remove_nodes(ring.graph, {3});
+  EXPECT_EQ(g.num_links(), 6u);  // both links of node 3 gone
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.has_link(4, 5));
+}
+
+TEST(FaultSurgery, RejectsOutOfRange) {
+  const Topology ring = make_ring(8);
+  EXPECT_THROW(remove_links(ring.graph, {99}), PreconditionError);
+  EXPECT_THROW(remove_nodes(ring.graph, {99}), PreconditionError);
+}
+
+TEST(Faults, ZeroFractionIsBaseline) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const auto r = evaluate_link_faults(topo, 0.0, 3, 1);
+  EXPECT_DOUBLE_EQ(r.connected_rate, 1.0);
+  EXPECT_EQ(r.connected_trials, 3u);
+  const auto base = compute_path_stats(topo.graph);
+  EXPECT_DOUBLE_EQ(r.avg_diameter, base.diameter);
+  EXPECT_NEAR(r.avg_aspl, base.avg_shortest_path, 1e-9);
+}
+
+TEST(Faults, RingDisconnectsEasily) {
+  // Removing 10% of a ring's links (>= 2 links) always disconnects it.
+  const Topology ring = make_ring(64);
+  const auto r = evaluate_link_faults(ring, 0.1, 5, 2);
+  EXPECT_DOUBLE_EQ(r.connected_rate, 0.0);
+}
+
+TEST(Faults, DsnSurvivesModerateLinkFailures) {
+  // The shortcut hierarchy provides alternative paths around ring failures.
+  const Topology topo = make_topology_by_name("dsn", 128);
+  const auto r = evaluate_link_faults(topo, 0.02, 10, 3);
+  EXPECT_GT(r.connected_rate, 0.5);
+}
+
+TEST(Faults, AsplGrowsWithFailures) {
+  const Topology topo = make_topology_by_name("random", 128, 1);
+  const auto r0 = evaluate_link_faults(topo, 0.0, 1, 1);
+  const auto r1 = evaluate_link_faults(topo, 0.05, 10, 1);
+  ASSERT_GT(r1.connected_trials, 0u);
+  EXPECT_GE(r1.avg_aspl, r0.avg_aspl);
+}
+
+TEST(Faults, SwitchFaultsEvaluateSurvivors) {
+  const Topology topo = make_topology_by_name("random", 64, 5);
+  const auto r = evaluate_switch_faults(topo, 0.05, 8, 4);
+  EXPECT_EQ(r.trials, 8u);
+  // Random degree-4 graphs are robust to a few node losses.
+  EXPECT_GT(r.connected_rate, 0.3);
+}
+
+TEST(Faults, DeterministicForSeed) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const auto a = evaluate_link_faults(topo, 0.05, 5, 42);
+  const auto b = evaluate_link_faults(topo, 0.05, 5, 42);
+  EXPECT_EQ(a.connected_trials, b.connected_trials);
+  EXPECT_DOUBLE_EQ(a.avg_aspl, b.avg_aspl);
+}
+
+TEST(Faults, RejectsBadFraction) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  EXPECT_THROW(evaluate_link_faults(topo, 1.0, 1, 1), PreconditionError);
+  EXPECT_THROW(evaluate_switch_faults(topo, -0.1, 1, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,67 @@
+// Tests for topology import/export: DOT rendering, edge-list round trips.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/topology/io.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(Dot, ContainsAllLinks) {
+  const Topology t = make_topology_by_name("dsn", 32);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph \"dsn-4-32\""), std::string::npos);
+  // Count edge lines.
+  std::size_t edges = 0;
+  for (std::size_t pos = 0; (pos = dot.find(" -- ", pos)) != std::string::npos; ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, t.graph.num_links());
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // shortcuts colored
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, EdgeListRoundTrip) {
+  const Topology original = make_topology_by_name(GetParam(), 64, 7);
+  const Topology parsed = parse_edge_list(to_edge_list(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.kind, original.kind);
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.dims, original.dims);
+  ASSERT_EQ(parsed.graph.num_links(), original.graph.num_links());
+  for (LinkId l = 0; l < original.graph.num_links(); ++l) {
+    EXPECT_EQ(parsed.graph.link_endpoints(l), original.graph.link_endpoints(l));
+    EXPECT_EQ(parsed.link_roles[l], original.link_roles[l]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RoundTripTest,
+                         ::testing::Values("dsn", "torus", "random", "ring",
+                                           "dsn-e", "dsn-bidir"));
+
+TEST(EdgeList, RoundTripPreservesMetrics) {
+  const Topology original = make_topology_by_name("dsn", 128);
+  const Topology parsed = parse_edge_list(to_edge_list(original));
+  const auto a = compute_path_stats(original.graph);
+  const auto b = compute_path_stats(parsed.graph);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_DOUBLE_EQ(a.avg_shortest_path, b.avg_shortest_path);
+}
+
+TEST(EdgeList, RejectsGarbage) {
+  EXPECT_THROW(parse_edge_list(""), PreconditionError);
+  EXPECT_THROW(parse_edge_list("not a topology\n0 1 ring\n"), PreconditionError);
+  EXPECT_THROW(parse_edge_list("# dsn-topology t dsn 4\n0 1 bogus-role\n"),
+               PreconditionError);
+}
+
+TEST(EdgeList, HeaderCarriesDims) {
+  const Topology t = make_topology_by_name("torus", 64);
+  const std::string text = to_edge_list(t);
+  EXPECT_NE(text.find("torus2d 64 8 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,167 @@
+// Tests for the machine-room layout and cable-length model (§VI-B).
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/layout/layout.hpp"
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(FloorLayout, LinearCabinetGridShape) {
+  // 64 switches at 16/cabinet: m = 4 cabinets, q = ceil(sqrt 4) = 2 rows.
+  const Topology topo = make_ring(64);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  EXPECT_EQ(layout.num_cabinets(), 4u);
+  EXPECT_EQ(layout.rows(), 2u);
+  EXPECT_EQ(layout.cols(), 2u);
+}
+
+TEST(FloorLayout, PaperGridFormula) {
+  // m cabinets: rows q = ceil(sqrt m), cols = ceil(m / q).
+  const Topology topo = make_ring(37 * 16);  // 37 cabinets
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  EXPECT_EQ(layout.num_cabinets(), 37u);
+  EXPECT_EQ(layout.rows(), 7u);
+  EXPECT_EQ(layout.cols(), 6u);
+}
+
+TEST(FloorLayout, LinearFillsConsecutively) {
+  const Topology topo = make_ring(64);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(layout.cabinet_of(v), (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+  }
+  EXPECT_EQ(layout.cabinet_of(16), (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(layout.cabinet_of(32), (std::pair<std::uint32_t, std::uint32_t>{1, 0}));
+}
+
+TEST(FloorLayout, IntraCabinetCableIsConstant) {
+  const Topology topo = make_ring(64);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  EXPECT_DOUBLE_EQ(layout.cable_length_m(0, 15), 2.0);
+  EXPECT_DOUBLE_EQ(layout.cable_length_m(3, 3), 2.0);
+}
+
+TEST(FloorLayout, InterCabinetManhattanPlusOverhead) {
+  const Topology topo = make_ring(64);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  // Cabinet (0,0) -> (0,1): one column apart = 0.6 + 2.0 overhead.
+  EXPECT_DOUBLE_EQ(layout.cable_length_m(0, 16), 2.6);
+  // Cabinet (0,0) -> (1,0): one row apart = 2.1 + 2.0.
+  EXPECT_DOUBLE_EQ(layout.cable_length_m(0, 32), 4.1);
+  // Cabinet (0,0) -> (1,1): 0.6 + 2.1 + 2.0.
+  EXPECT_DOUBLE_EQ(layout.cable_length_m(0, 48), 4.7);
+}
+
+TEST(FloorLayout, Grid2dTilesTorus) {
+  const Topology topo = make_torus_2d(8, 8);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kGrid2D);
+  // 8x8 torus tiled by 4x4 cabinets -> 2x2 cabinet grid.
+  EXPECT_EQ(layout.rows(), 2u);
+  EXPECT_EQ(layout.cols(), 2u);
+  EXPECT_EQ(layout.cabinet_of(0), (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+  EXPECT_EQ(layout.cabinet_of(7), (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(layout.cabinet_of(7 * 8), (std::pair<std::uint32_t, std::uint32_t>{1, 0}));
+}
+
+TEST(FloorLayout, Grid2dRequiresRank2) {
+  const Topology ring = make_ring(64);
+  EXPECT_THROW(FloorLayout(ring, {}, PlacementStrategy::kGrid2D), PreconditionError);
+}
+
+TEST(CableReport, CountsAndTotals) {
+  const Topology topo = make_ring(32);  // 2 cabinets of 16
+  const FloorLayout layout(topo, {}, PlacementStrategy::kLinear);
+  const CableReport report = compute_cable_report(topo, layout);
+  EXPECT_EQ(report.per_link_m.size(), 32u);
+  // Ring links within a cabinet: 15 + 15; crossing: (15,16) and (31,0) -> 2.
+  EXPECT_EQ(report.intra_cabinet_links, 30u);
+  EXPECT_EQ(report.inter_cabinet_links, 2u);
+  // Two cabinets stack in q = ceil(sqrt 2) = 2 rows of one: the crossing
+  // cables span one row (2.1 m) plus the 2 m overhead.
+  const double expected_total = 30 * 2.0 + 2 * 4.1;
+  EXPECT_NEAR(report.total_m, expected_total, 1e-9);
+  EXPECT_NEAR(report.average_m, expected_total / 32, 1e-9);
+  EXPECT_NEAR(report.max_m, 4.1, 1e-9);
+}
+
+TEST(CableReport, TorusUniformLinkLengthsUnderTiling) {
+  // In the tiled 2-D layout, torus mesh links connect adjacent or same
+  // cabinets; only wrap links span the room.
+  const Topology topo = make_torus_2d(16, 16);
+  const FloorLayout layout(topo, {}, PlacementStrategy::kGrid2D);
+  const CableReport report = compute_cable_report(topo, layout);
+  double max_mesh = 0, max_wrap = 0;
+  for (LinkId l = 0; l < topo.graph.num_links(); ++l) {
+    if (topo.link_roles[l] == LinkRole::kWrap) {
+      max_wrap = std::max(max_wrap, report.per_link_m[l]);
+    } else {
+      max_mesh = std::max(max_mesh, report.per_link_m[l]);
+    }
+  }
+  EXPECT_LT(max_mesh, max_wrap);
+}
+
+TEST(CableReport, DefaultPlacementPicksGridForTorus) {
+  const Topology torus = make_torus_2d(8, 8);
+  const Topology ring = make_ring(64);
+  EXPECT_NO_THROW(compute_cable_report(torus));
+  EXPECT_NO_THROW(compute_cable_report(ring));
+}
+
+// --------------------------------------------------------------------------
+// Figure 9's headline relations.
+// --------------------------------------------------------------------------
+
+class CableComparisonTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CableComparisonTest, DsnCableShorterThanRandom) {
+  const std::uint32_t n = GetParam();
+  const auto dsn_cable = compute_cable_report(make_topology_by_name("dsn", n));
+  const auto rnd_cable = compute_cable_report(make_topology_by_name("random", n, 1));
+  EXPECT_LT(dsn_cable.average_m, rnd_cable.average_m) << "n = " << n;
+}
+
+TEST_P(CableComparisonTest, DsnCableWithinTwiceTorus) {
+  // "similar average cable length to the same-degree torus": allow slack but
+  // pin the order of magnitude.
+  const std::uint32_t n = GetParam();
+  const auto dsn_cable = compute_cable_report(make_topology_by_name("dsn", n));
+  const auto torus_cable = compute_cable_report(make_topology_by_name("torus", n));
+  EXPECT_LT(dsn_cable.average_m, 2.0 * torus_cable.average_m) << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CableComparisonTest,
+                         ::testing::Values(256u, 512u, 1024u, 2048u));
+
+TEST(LineCable, RingOnlyHasNoShortcuts) {
+  const auto stats = compute_line_cable_stats(make_ring(64));
+  EXPECT_EQ(stats.shortcut_links, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_shortcut_length, 0.0);
+  // Ring on a line: 63 unit links plus the wrap link of length 63.
+  EXPECT_DOUBLE_EQ(stats.total_length, 63.0 + 63.0);
+}
+
+TEST(LineCable, DsnShortcutSpanNearTheoremBound) {
+  // Theorem 2b: average designed span ~ n/p (we check <= n/(p-1) + p slack,
+  // the exact constant depends on the x = p-1 shortcut census).
+  const Dsn d(1024, dsn_default_x(1024));
+  const auto stats = compute_line_cable_stats(d.topology());
+  EXPECT_GT(stats.shortcut_links, 0u);
+  EXPECT_LE(stats.avg_shortcut_span,
+            1024.0 / (d.p() - 1) + d.p());
+}
+
+TEST(LineCable, DsnBeatsDln22ByRoughlyPOver3) {
+  const Dsn d(2048, dsn_default_x(2048));
+  const auto dsn_stats = compute_line_cable_stats(d.topology());
+  const auto rnd_stats = compute_line_cable_stats(make_dln_random(2048, 2, 2, 1));
+  const double factor = rnd_stats.avg_shortcut_length / dsn_stats.avg_shortcut_length;
+  // Paper: ~p/3 = 3.67 at n = 2048; line-wrap inflation costs some of it.
+  EXPECT_GT(factor, 2.0);
+}
+
+}  // namespace
+}  // namespace dsn

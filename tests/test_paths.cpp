@@ -1,0 +1,126 @@
+// Tests for shortest paths, Yen's k-shortest paths and edge connectivity.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/graph/paths.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(ShortestPath, OnRing) {
+  const Topology ring = make_ring(10);
+  const auto p = shortest_path(ring.graph, 0, 3);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 1, 2, 3}));
+  const auto q = shortest_path(ring.graph, 0, 8);
+  EXPECT_EQ(q, (std::vector<NodeId>{0, 9, 8}));
+}
+
+TEST(ShortestPath, UnreachableIsEmpty) {
+  Graph g(4);
+  g.add_link(0, 1);
+  EXPECT_TRUE(shortest_path(g, 0, 3).empty());
+}
+
+TEST(ShortestPath, SelfIsSingleton) {
+  const Topology ring = make_ring(6);
+  EXPECT_EQ(shortest_path(ring.graph, 2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(Yen, RingHasExactlyTwoSimplePathsBetweenAntipodes) {
+  const Topology ring = make_ring(8);
+  const auto paths = yen_k_shortest_paths(ring.graph, 0, 4, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].size(), 5u);  // both directions are 4 hops
+  EXPECT_EQ(paths[1].size(), 5u);
+  EXPECT_NE(paths[0], paths[1]);
+}
+
+TEST(Yen, PathsAreLooplessOrderedAndDistinct) {
+  const Topology t = make_topology_by_name("dsn", 64);
+  const auto paths = yen_k_shortest_paths(t.graph, 3, 40, 6);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Loopless.
+    std::set<NodeId> uniq(paths[i].begin(), paths[i].end());
+    EXPECT_EQ(uniq.size(), paths[i].size());
+    // Valid.
+    EXPECT_EQ(paths[i].front(), 3u);
+    EXPECT_EQ(paths[i].back(), 40u);
+    for (std::size_t j = 0; j + 1 < paths[i].size(); ++j) {
+      EXPECT_TRUE(t.graph.has_link(paths[i][j], paths[i][j + 1]));
+    }
+    // Ordered by length; all distinct.
+    if (i > 0) {
+      EXPECT_GE(paths[i].size(), paths[i - 1].size());
+      EXPECT_NE(paths[i], paths[i - 1]);
+    }
+  }
+  // First is the true shortest.
+  const auto bfs = bfs_distances(t.graph, 3);
+  EXPECT_EQ(paths[0].size() - 1, bfs[40]);
+}
+
+TEST(Yen, DeterministicAcrossCalls) {
+  const Topology t = make_topology_by_name("random", 32, 9);
+  const auto a = yen_k_shortest_paths(t.graph, 1, 20, 4);
+  const auto b = yen_k_shortest_paths(t.graph, 1, 20, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EdgeDisjoint, RingIsTwo) {
+  const Topology ring = make_ring(12);
+  EXPECT_EQ(edge_disjoint_paths(ring.graph, 0, 6), 2u);
+  EXPECT_EQ(edge_disjoint_paths(ring.graph, 0, 1), 2u);
+}
+
+TEST(EdgeDisjoint, TorusIsFour) {
+  const Topology torus = make_torus_2d(5, 5);
+  EXPECT_EQ(edge_disjoint_paths(torus.graph, 0, 12), 4u);
+}
+
+TEST(EdgeDisjoint, BridgeLimitsToOne) {
+  // Two triangles joined by one bridge.
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 0);
+  g.add_link(3, 4);
+  g.add_link(4, 5);
+  g.add_link(5, 3);
+  g.add_link(2, 3);  // bridge
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 5), 1u);
+}
+
+TEST(EdgeDisjoint, ParallelLinksCountSeparately) {
+  Graph g(2);
+  g.add_link(0, 1);
+  g.add_link(0, 1);
+  g.add_link(0, 1);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 1), 3u);
+}
+
+TEST(EdgeConnectivity, KnownValues) {
+  EXPECT_EQ(edge_connectivity(make_ring(10).graph), 2u);
+  EXPECT_EQ(edge_connectivity(make_torus_2d(4, 4).graph), 4u);
+  Graph disconnected(4);
+  disconnected.add_link(0, 1);
+  disconnected.add_link(2, 3);
+  EXPECT_EQ(edge_connectivity(disconnected), 0u);
+}
+
+TEST(EdgeConnectivity, DsnAtLeastTwo) {
+  // The ring alone provides two disjoint paths everywhere.
+  const Topology t = make_topology_by_name("dsn", 64);
+  EXPECT_GE(edge_connectivity(t.graph), 2u);
+}
+
+TEST(EdgeConnectivity, RandomRegularIsDegree) {
+  // Random 4-regular graphs are a.a.s. 4-edge-connected.
+  const Topology t = make_random_regular(64, 4, 3);
+  EXPECT_EQ(edge_connectivity(t.graph), 4u);
+}
+
+}  // namespace
+}  // namespace dsn

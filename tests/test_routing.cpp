@@ -1,0 +1,331 @@
+// Tests for the DSN custom routing algorithm (Fig. 2): correctness over all
+// pairs, the Fact 2 / Fact 3 / Theorem 2a bounds, phase structure, the
+// overshoot-avoiding and nearest-PRE-WORK variants, DSN-D and flexible
+// routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsn/common/math.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+
+namespace dsn {
+namespace {
+
+// --------------------------------------------------------------------------
+// Correctness over all pairs, parameterized on (n, x).
+// --------------------------------------------------------------------------
+
+struct RoutingCase {
+  std::uint32_t n;
+  std::uint32_t x;  // 0 = default (p-1)
+};
+
+class DsnRoutingAllPairs : public ::testing::TestWithParam<RoutingCase> {};
+
+TEST_P(DsnRoutingAllPairs, EveryRouteIsValidAndNoFallback) {
+  const auto [n, x_in] = GetParam();
+  const std::uint32_t x = x_in == 0 ? dsn_default_x(n) : x_in;
+  const Dsn d(n, x);
+  const DsnRouter router(d);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      const Route r = router.route(s, t);
+      ASSERT_NO_THROW(validate_route(d, r)) << s << "->" << t;
+      EXPECT_FALSE(r.used_fallback) << s << "->" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DsnRoutingAllPairs,
+    ::testing::Values(RoutingCase{32, 0}, RoutingCase{64, 0}, RoutingCase{100, 0},
+                      RoutingCase{128, 0}, RoutingCase{255, 0}, RoutingCase{256, 0},
+                      RoutingCase{257, 0}, RoutingCase{64, 3}, RoutingCase{64, 1},
+                      RoutingCase{128, 4}, RoutingCase{512, 0}));
+
+// --------------------------------------------------------------------------
+// Fact 2: routing diameter <= 3p + r for x > p - log p.
+// --------------------------------------------------------------------------
+
+class DsnRoutingBounds : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DsnRoutingBounds, Fact2RoutingDiameter) {
+  const std::uint32_t n = GetParam();
+  const Dsn d(n, dsn_default_x(n));
+  const DsnRouter router(d);
+  const RoutingScan scan = scan_all_pairs(router);
+  EXPECT_LE(scan.max_hops, 3 * d.p() + d.r()) << "n = " << n;
+  EXPECT_EQ(scan.fallback_routes, 0u);
+}
+
+TEST_P(DsnRoutingBounds, Theorem2aExpectedRouteLength) {
+  const std::uint32_t n = GetParam();
+  const Dsn d(n, dsn_default_x(n));
+  const DsnRouter router(d);
+  const RoutingScan scan = scan_all_pairs(router);
+  EXPECT_LE(scan.avg_hops, 2.0 * d.p()) << "n = " << n;
+}
+
+TEST_P(DsnRoutingBounds, Theorem2aExpectedShortestPath) {
+  const std::uint32_t n = GetParam();
+  const Dsn d(n, dsn_default_x(n));
+  const auto stats = compute_path_stats(d.topology().graph);
+  EXPECT_LE(stats.avg_shortest_path, 1.5 * d.p()) << "n = " << n;
+}
+
+TEST_P(DsnRoutingBounds, RouteNeverShorterThanShortestPath) {
+  const std::uint32_t n = GetParam();
+  if (n > 300) GTEST_SKIP() << "covered by smaller sizes; keeps runtime bounded";
+  const Dsn d(n, dsn_default_x(n));
+  const DsnRouter router(d);
+  for (NodeId s = 0; s < n; s += 7) {
+    const auto dist = bfs_distances(d.topology().graph, s);
+    for (NodeId t = 0; t < n; ++t) {
+      const Route r = router.route(s, t);
+      EXPECT_GE(r.length(), dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DsnRoutingBounds,
+                         ::testing::Values(32u, 64u, 100u, 128u, 256u, 300u, 512u,
+                                           1024u));
+
+// --------------------------------------------------------------------------
+// Phase structure.
+// --------------------------------------------------------------------------
+
+TEST(DsnRouting, PhasesHaveExpectedLinkKinds) {
+  const Dsn d(256, 7);
+  const DsnRouter router(d);
+  for (NodeId s = 0; s < 256; s += 11) {
+    for (NodeId t = 0; t < 256; t += 7) {
+      const Route r = router.route(s, t);
+      for (const RouteHop& h : r.hops) {
+        switch (h.phase) {
+          case RoutePhase::kPreWork:
+            EXPECT_TRUE(h.kind == HopKind::kPred || h.kind == HopKind::kSucc);
+            break;
+          case RoutePhase::kMain:
+            EXPECT_TRUE(h.kind == HopKind::kSucc || h.kind == HopKind::kShortcut);
+            break;
+          case RoutePhase::kFinish:
+            EXPECT_TRUE(h.kind == HopKind::kPred || h.kind == HopKind::kSucc);
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(DsnRouting, PreWorkOnlyDefault) {
+  // Without nearest_prework, PRE-WORK only walks pred links (Fig. 2 line 5).
+  const Dsn d(128, 6);
+  const DsnRouter router(d);
+  for (NodeId s = 0; s < 128; ++s) {
+    for (NodeId t = 0; t < 128; t += 5) {
+      for (const RouteHop& h : router.route(s, t).hops) {
+        if (h.phase == RoutePhase::kPreWork) {
+          EXPECT_EQ(h.kind, HopKind::kPred);
+        }
+      }
+    }
+  }
+}
+
+TEST(DsnRouting, MainLevelsMonotonicallyIncrease) {
+  // Within MAIN, the level of the current node never decreases (the
+  // deadlock-freedom argument of Theorem 3 relies on this monotonicity).
+  const Dsn d(256, 7);
+  const DsnRouter router(d);
+  for (NodeId s = 0; s < 256; s += 3) {
+    for (NodeId t = 0; t < 256; t += 5) {
+      const Route r = router.route(s, t);
+      std::uint32_t prev_level = 0;
+      for (const RouteHop& h : r.hops) {
+        if (h.phase != RoutePhase::kMain) continue;
+        const std::uint32_t from_level = d.level(h.from);
+        if (prev_level != 0) {
+          EXPECT_GE(from_level, prev_level)
+              << s << "->" << t << " at " << h.from;
+        }
+        prev_level = from_level;
+      }
+    }
+  }
+}
+
+TEST(DsnRouting, SelfRouteIsEmpty) {
+  const Dsn d(64, 5);
+  const DsnRouter router(d);
+  const Route r = router.route(10, 10);
+  EXPECT_EQ(r.length(), 0u);
+  EXPECT_NO_THROW(validate_route(d, r));
+}
+
+TEST(DsnRouting, AdjacentNodesRouteDirectly) {
+  const Dsn d(64, 5);
+  const DsnRouter router(d);
+  EXPECT_EQ(router.route(5, 6).length(), 1u);
+  EXPECT_EQ(router.route(6, 5).length(), 1u);
+  EXPECT_EQ(router.route(0, 63).length(), 1u);
+  EXPECT_EQ(router.route(63, 0).length(), 1u);
+}
+
+TEST(DsnRouting, RejectsOutOfRange) {
+  const Dsn d(64, 5);
+  const DsnRouter router(d);
+  EXPECT_THROW(router.route(64, 0), PreconditionError);
+  EXPECT_THROW(router.route(0, 64), PreconditionError);
+}
+
+// --------------------------------------------------------------------------
+// Variants.
+// --------------------------------------------------------------------------
+
+TEST(DsnRoutingVariants, AvoidOvershootNeverOvershoots) {
+  const std::uint32_t n = 200;
+  const Dsn d(n, dsn_default_x(n));
+  DsnRoutingOptions opt;
+  opt.avoid_overshoot = true;
+  const DsnRouter router(d, opt);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      const Route r = router.route(s, t);
+      ASSERT_NO_THROW(validate_route(d, r));
+      // Nothing ever overshoots: once MAIN has run, FINISH never needs to
+      // walk counterclockwise. (Routes that are pure short backward walks
+      // never enter MAIN and legitimately use pred links.)
+      const bool has_main = std::any_of(
+          r.hops.begin(), r.hops.end(),
+          [](const RouteHop& h) { return h.phase == RoutePhase::kMain; });
+      if (!has_main) continue;
+      for (const RouteHop& h : r.hops) {
+        if (h.phase == RoutePhase::kFinish) {
+          EXPECT_EQ(h.kind, HopKind::kSucc) << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(DsnRoutingVariants, NearestPreworkWithinBounds) {
+  const std::uint32_t n = 256;
+  const Dsn d(n, dsn_default_x(n));
+  DsnRoutingOptions opt;
+  opt.nearest_prework = true;
+  const DsnRouter router(d, opt);
+  const RoutingScan scan = scan_all_pairs_fn(
+      n, [&](NodeId s, NodeId t) { return router.route(s, t); });
+  EXPECT_EQ(scan.fallback_routes, 0u);
+  // Fact 3 argument: the nearest-direction PRE-WORK path stays within the
+  // routing diameter bound.
+  EXPECT_LE(scan.max_hops, 3 * d.p() + d.r());
+}
+
+TEST(DsnRoutingVariants, NearestPreworkNotWorseOnAverage) {
+  const std::uint32_t n = 512;
+  const Dsn d(n, dsn_default_x(n));
+  const DsnRouter plain(d);
+  DsnRoutingOptions opt;
+  opt.nearest_prework = true;
+  const DsnRouter nearest(d, opt);
+  const auto scan_plain = scan_all_pairs(plain);
+  const auto scan_near = scan_all_pairs(nearest);
+  EXPECT_LE(scan_near.avg_hops, scan_plain.avg_hops + 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// DSN-D routing.
+// --------------------------------------------------------------------------
+
+TEST(DsnDRouting, AllPairsValidAndComplete) {
+  const DsnD dd(256, 2);
+  const Graph& g = dd.topology().graph;
+  for (NodeId s = 0; s < 256; ++s) {
+    for (NodeId t = 0; t < 256; ++t) {
+      const Route r = route_dsn_d(dd, s, t);
+      if (s == t) {
+        EXPECT_EQ(r.length(), 0u);
+        continue;
+      }
+      ASSERT_FALSE(r.hops.empty());
+      EXPECT_EQ(r.hops.front().from, s);
+      EXPECT_EQ(r.hops.back().to, t);
+      for (const RouteHop& h : r.hops) {
+        EXPECT_TRUE(g.has_link(h.from, h.to)) << s << "->" << t;
+      }
+      EXPECT_FALSE(r.used_fallback);
+    }
+  }
+}
+
+TEST(DsnDRouting, ImprovesRoutingDiameterTowards2p) {
+  const std::uint32_t n = 512;
+  const DsnD dd(n, 2);
+  const Dsn plain(n, dd.base().x());
+  const auto scan_d = scan_all_pairs_fn(
+      n, [&](NodeId s, NodeId t) { return route_dsn_d(dd, s, t); });
+  const auto scan_p = scan_all_pairs(DsnRouter(plain));
+  EXPECT_LT(scan_d.max_hops, scan_p.max_hops);
+  EXPECT_LT(scan_d.avg_hops, scan_p.avg_hops);
+}
+
+TEST(DsnDRouting, UsesExpressLinks) {
+  const DsnD dd(256, 2);
+  bool used_express = false;
+  for (NodeId s = 0; s < 256 && !used_express; s += 3) {
+    for (NodeId t = 0; t < 256 && !used_express; t += 5) {
+      for (const RouteHop& h : route_dsn_d(dd, s, t).hops) {
+        if (h.kind == HopKind::kExpress) {
+          used_express = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(used_express);
+}
+
+// --------------------------------------------------------------------------
+// Flexible DSN routing.
+// --------------------------------------------------------------------------
+
+TEST(FlexRouting, AllPairsValidAndComplete) {
+  const FlexDsn f(60, 5, {10, 20, 30, 40});
+  const Graph& g = f.topology().graph;
+  const NodeId n = f.num_total();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      const Route r = route_dsn_flex(f, s, t);
+      if (s == t) {
+        EXPECT_EQ(r.length(), 0u);
+        continue;
+      }
+      ASSERT_FALSE(r.hops.empty()) << s << "->" << t;
+      EXPECT_EQ(r.hops.front().from, s);
+      EXPECT_EQ(r.hops.back().to, t);
+      for (std::size_t i = 0; i < r.hops.size(); ++i) {
+        EXPECT_TRUE(g.has_link(r.hops[i].from, r.hops[i].to)) << s << "->" << t;
+        if (i > 0) {
+          EXPECT_EQ(r.hops[i - 1].to, r.hops[i].from);
+        }
+      }
+    }
+  }
+}
+
+TEST(FlexRouting, BoundedInflationOverBase) {
+  const FlexDsn f(120, 6, {3, 50, 100});
+  const Dsn base(120, 6);
+  const auto scan_flex = scan_all_pairs_fn(
+      f.num_total(), [&](NodeId s, NodeId t) { return route_dsn_flex(f, s, t); });
+  const auto scan_base = scan_all_pairs(DsnRouter(base));
+  // Each minor adds at most ~1 hop near its major plus the final walk.
+  EXPECT_LE(scan_flex.max_hops, scan_base.max_hops + 2 * 3 + 2);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,112 @@
+// Cycle-exact pipeline regression test: one packet over one hop, with the
+// full timing derivation. Any change to the router/link/credit model that
+// shifts latency by even a cycle fails here, with the derivation below as
+// the reference.
+//
+// Configuration: 4-switch ring, defaults (router_delay = 38 cycles,
+// link_delay = 8 cycles, 33-flit packets), a single traced packet from
+// host 0 (switch 0) to host 4 (switch 1).
+//
+//   cycle 0        packet enters the NIC source queue (gen_cycle = 0) and
+//                  the NIC starts streaming (inject_cycle = 0); flit k is
+//                  put on the injection wire at cycle k and arrives at the
+//                  switch-0 input buffer at cycle k + 8.
+//   cycle 8        head flit arrives; routable at 8 + 38 = 46.
+//   cycle 46       VC allocation + switch allocation succeed (everything is
+//                  idle); head traverses to the switch-1 wire, arriving at
+//                  46 + 8 = 54. Body flits follow one per cycle.
+//   cycle 54       head arrives at switch 1 (the destination); routable at
+//                  54 + 38 = 92.
+//   cycle 92       ejection port granted; flits eject one per cycle, so the
+//                  tail (flit 32) ejects at 92 + 32 = 124 and completes at
+//                  the host NIC at 124 + 8 = 132.
+//
+//   => end-to-end latency = 132 cycles = 352 ns at 2.667 ns/cycle.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(PipelineTiming, SingleHopIsCycleExact) {
+  const Topology ring = make_topology_by_name("ring", 4);
+  SimRouting routing(ring);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic unused(16);
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 100;
+  cfg.drain_cycles = 5'000;
+  cfg.record_packet_traces = true;
+  ASSERT_EQ(cfg.router_delay_cycles(), 38u);
+  ASSERT_EQ(cfg.link_delay_cycles(), 8u);
+
+  Simulator sim(ring, policy, unused, cfg);
+  sim.set_injection_trace({{0, 0, 4}});  // host 0 (switch 0) -> host 4 (switch 1)
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.drained);
+  ASSERT_EQ(sim.packet_traces().size(), 1u);
+
+  const PacketTrace& t = sim.packet_traces()[0];
+  EXPECT_EQ(t.gen_cycle, 0u);
+  EXPECT_EQ(t.inject_cycle, 0u);
+  EXPECT_EQ(t.hops, 1u);
+  EXPECT_EQ(t.eject_cycle - t.gen_cycle, 132u);  // derivation in file header
+  EXPECT_NEAR(res.avg_latency_ns, 132.0 * cfg.cycle_ns(), 1e-6);
+}
+
+TEST(PipelineTiming, EachExtraHopAddsRouterPlusLink) {
+  // Two hops: one more (router + link + 1 SA cycle... no — the body flits
+  // pipeline behind the head, so an extra hop adds exactly
+  // router_delay + link_delay = 46 cycles of head latency.
+  const Topology ring = make_topology_by_name("ring", 8);
+  SimRouting routing(ring);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic unused(32);
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 100;
+  cfg.drain_cycles = 8'000;
+  cfg.record_packet_traces = true;
+
+  const auto latency_for = [&](HostId dst) {
+    Simulator sim(ring, policy, unused, cfg);
+    sim.set_injection_trace({{0, 0, dst}});
+    const SimResult res = sim.run();
+    EXPECT_TRUE(res.drained);
+    return sim.packet_traces()[0].eject_cycle;
+  };
+  const std::uint64_t one_hop = latency_for(4);    // switch 1
+  const std::uint64_t two_hops = latency_for(8);   // switch 2
+  const std::uint64_t three_hops = latency_for(12);  // switch 3
+  EXPECT_EQ(two_hops - one_hop, 38u + 8u);
+  EXPECT_EQ(three_hops - two_hops, 38u + 8u);
+}
+
+TEST(PipelineTiming, ZeroHopDeliveryWithinSwitch) {
+  // Destination host on the source switch: inject -> route to ejection port
+  // -> eject. Latency = 8 (inject wire) + 38 (routing) + 32 (tail) + 8.
+  const Topology ring = make_topology_by_name("ring", 4);
+  SimRouting routing(ring);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic unused(16);
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 100;
+  cfg.drain_cycles = 5'000;
+  cfg.record_packet_traces = true;
+
+  Simulator sim(ring, policy, unused, cfg);
+  sim.set_injection_trace({{0, 0, 1}});  // host 0 -> host 1, both on switch 0
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.drained);
+  const PacketTrace& t = sim.packet_traces()[0];
+  EXPECT_EQ(t.hops, 0u);
+  EXPECT_EQ(t.eject_cycle, 8u + 38u + 32u + 8u);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,218 @@
+// Tests for the simulator routing tables (minimal adaptive + escape) and the
+// three routing policies' candidate sets.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/policy.hpp"
+#include "dsn/topology/dsn.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(SimRouting, DistancesMatchBfs) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  for (NodeId s = 0; s < 64; s += 3) {
+    const auto bfs = bfs_distances(topo.graph, s);
+    for (NodeId t = 0; t < 64; ++t) {
+      EXPECT_EQ(routing.distance(s, t), bfs[t]);
+    }
+  }
+}
+
+TEST(SimRouting, MinimalNextHopsAreExactlyCloserNeighbors) {
+  const Topology topo = make_topology_by_name("random", 32, 3);
+  const SimRouting routing(topo);
+  for (NodeId u = 0; u < 32; ++u) {
+    for (NodeId t = 0; t < 32; ++t) {
+      const auto hops = routing.minimal_next_hops(u, t);
+      if (u == t) {
+        EXPECT_TRUE(hops.empty());
+        continue;
+      }
+      ASSERT_FALSE(hops.empty()) << u << "->" << t;
+      std::size_t closer = 0;
+      for (const AdjHalf& h : topo.graph.neighbors(u)) {
+        if (routing.distance(h.to, t) + 1 == routing.distance(u, t)) ++closer;
+      }
+      EXPECT_EQ(hops.size(), closer) << u << "->" << t;
+      for (const NodeId v : hops) {
+        EXPECT_EQ(routing.distance(v, t) + 1, routing.distance(u, t));
+        EXPECT_TRUE(topo.graph.has_link(u, v));
+      }
+    }
+  }
+}
+
+TEST(SimRouting, EscapeNextHopMatchesUpDown) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  for (NodeId u = 0; u < 64; u += 5) {
+    for (NodeId t = 0; t < 64; t += 3) {
+      if (u == t) continue;
+      EXPECT_EQ(routing.escape_next_hop(u, t, false), routing.updown().next_hop(u, t, false));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Policies.
+// --------------------------------------------------------------------------
+
+TEST(AdaptivePolicy, CandidateStructure) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  const AdaptiveUpDownPolicy policy(routing, 4);
+  std::vector<RouteCandidate> cands;
+  for (NodeId u = 0; u < 64; u += 7) {
+    for (NodeId t = 0; t < 64; t += 5) {
+      if (u == t) continue;
+      policy.candidates(u, t, 0, cands);
+      ASSERT_FALSE(cands.empty());
+      // Escape candidate is last and unique; adaptive ones use VCs 1..3.
+      EXPECT_TRUE(cands.back().escape);
+      EXPECT_EQ(cands.back().vc, 0u);
+      for (std::size_t i = 0; i + 1 < cands.size(); ++i) {
+        EXPECT_FALSE(cands[i].escape);
+        EXPECT_GE(cands[i].vc, 1u);
+        EXPECT_LE(cands[i].vc, 3u);
+        // Adaptive candidates are minimal.
+        EXPECT_EQ(routing.distance(cands[i].next, t) + 1, routing.distance(u, t));
+      }
+    }
+  }
+}
+
+TEST(AdaptivePolicy, EscapeStateTracksDownHops) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  const SimRouting routing(topo);
+  const AdaptiveUpDownPolicy policy(routing, 4);
+  // An adaptive hop always resets the state to 0.
+  const RouteCandidate adaptive{1, 2, false};
+  EXPECT_EQ(policy.next_state(0, 1, adaptive, 1), 0);
+  // An escape hop sets the state iff it is a down hop.
+  std::vector<RouteCandidate> cands;
+  policy.candidates(5, 40, 0, cands);
+  const RouteCandidate esc = cands.back();
+  const std::uint8_t st = policy.next_state(5, esc.next, esc, 0);
+  EXPECT_EQ(st != 0, routing.escape_hop_is_down(5, esc.next));
+}
+
+TEST(AdaptivePolicy, RequiresTwoVcs) {
+  const Topology topo = make_topology_by_name("ring", 8);
+  const SimRouting routing(topo);
+  EXPECT_THROW(AdaptiveUpDownPolicy(routing, 1), PreconditionError);
+}
+
+TEST(UpDownOnlyPolicy, SingleNextHopAllVcs) {
+  const Topology topo = make_topology_by_name("random", 32, 3);
+  const SimRouting routing(topo);
+  const UpDownOnlyPolicy policy(routing, 4);
+  std::vector<RouteCandidate> cands;
+  policy.candidates(3, 20, 0, cands);
+  ASSERT_EQ(cands.size(), 4u);
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.next, cands[0].next);
+    EXPECT_TRUE(c.escape);
+  }
+}
+
+TEST(DsnCustomPolicy, FollowingDecisionsReachesEveryDestination) {
+  const std::uint32_t n = 256;
+  const Dsn d(n, dsn_default_x(n));
+  const DsnCustomPolicy policy(d);
+  const Graph& g = d.topology().graph;
+  for (NodeId s = 0; s < n; s += 3) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      NodeId u = s;
+      std::uint8_t phase = policy.initial_state();
+      std::size_t hops = 0;
+      while (u != t) {
+        const auto dec = policy.decide(u, t, phase);
+        ASSERT_TRUE(g.has_link(u, dec.candidate.next)) << s << "->" << t << " at " << u;
+        // Phases only ever advance (Theorem 3 monotonicity).
+        ASSERT_GE(dec.next_phase, phase) << s << "->" << t << " at " << u;
+        phase = dec.next_phase;
+        u = dec.candidate.next;
+        ASSERT_LE(++hops, static_cast<std::size_t>(4 * d.p() + d.r()) + 8)
+            << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(DsnCustomPolicy, VcClassesMatchPhases) {
+  const std::uint32_t n = 128;
+  const Dsn d(n, dsn_default_x(n));
+  const DsnCustomPolicy policy(d);
+  for (NodeId s = 0; s < n; s += 5) {
+    for (NodeId t = 0; t < n; t += 3) {
+      if (s == t) continue;
+      NodeId u = s;
+      std::uint8_t phase = policy.initial_state();
+      while (u != t) {
+        const auto dec = policy.decide(u, t, phase);
+        const std::uint32_t vc = dec.candidate.vc;
+        if (dec.next_phase == DsnCustomPolicy::kPhasePreWork) {
+          EXPECT_EQ(vc, DsnCustomPolicy::kVcUp);
+        } else if (dec.next_phase == DsnCustomPolicy::kPhaseMain) {
+          EXPECT_EQ(vc, DsnCustomPolicy::kVcMain);
+        } else {
+          EXPECT_TRUE(vc == DsnCustomPolicy::kVcFinish ||
+                      vc == DsnCustomPolicy::kVcExtra);
+        }
+        phase = dec.next_phase;
+        u = dec.candidate.next;
+      }
+    }
+  }
+}
+
+TEST(DsnCustomPolicy, ExtraClassOnlyNearZeroWithDestinationInRegion) {
+  const std::uint32_t n = 128;
+  const Dsn d(n, dsn_default_x(n));
+  const DsnCustomPolicy policy(d);
+  const std::uint32_t region = 2 * d.p();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      NodeId u = s;
+      std::uint8_t phase = policy.initial_state();
+      std::size_t hops = 0;
+      while (u != t && hops < 100) {
+        const auto dec = policy.decide(u, t, phase);
+        if (dec.candidate.vc == DsnCustomPolicy::kVcExtra) {
+          EXPECT_LT(t, region);
+          EXPECT_LE(u, region);
+          EXPECT_LE(dec.candidate.next, region);
+        }
+        phase = dec.next_phase;
+        u = dec.candidate.next;
+        ++hops;
+      }
+    }
+  }
+}
+
+TEST(DsnCustomPolicy, MultiVcExpansion) {
+  const Dsn d(64, dsn_default_x(64));
+  const DsnCustomPolicy policy(d, 8);
+  EXPECT_EQ(policy.vcs_per_class(), 2u);
+  std::vector<RouteCandidate> cands;
+  policy.candidates(10, 40, DsnCustomPolicy::kPhaseMain, cands);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].next, cands[1].next);
+  EXPECT_EQ(cands[0].vc / 2, cands[1].vc / 2);  // same class
+  EXPECT_NE(cands[0].vc, cands[1].vc);
+}
+
+TEST(DsnCustomPolicy, RejectsNonMultipleOf4Vcs) {
+  const Dsn d(64, dsn_default_x(64));
+  EXPECT_THROW(DsnCustomPolicy(d, 6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

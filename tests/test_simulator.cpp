@@ -1,0 +1,172 @@
+// Cycle-accurate simulator tests: conservation (all measured packets are
+// delivered), latency sanity against analytic zero-load expectations,
+// determinism, saturation behaviour, and deadlock-freedom of every routing
+// policy under stress.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
+#include "dsn/topology/dsn.hpp"
+
+namespace dsn {
+namespace {
+
+SimConfig quick_config(double offered_gbps) {
+  SimConfig cfg;
+  cfg.warmup_cycles = 3'000;
+  cfg.measure_cycles = 8'000;
+  cfg.drain_cycles = 60'000;
+  cfg.offered_gbps_per_host = offered_gbps;
+  return cfg;
+}
+
+TEST(Simulator, ZeroLoadLatencyMatchesAnalyticModel) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(64 * 4);
+  SimConfig cfg = quick_config(0.5);  // far below saturation
+  const SimResult res = run_simulation(topo, policy, traffic, cfg);
+
+  ASSERT_TRUE(res.drained);
+  ASSERT_FALSE(res.deadlock);
+  ASSERT_GT(res.packets_measured, 100u);
+  EXPECT_EQ(res.packets_delivered, res.packets_measured);
+
+  // Zero-load analytic estimate: per switch traversal ~router_delay, per link
+  // ~link_delay (injection + hops + ejection), plus packet serialization.
+  const double cyc = cfg.cycle_ns();
+  const double hops = res.avg_hops;
+  const double expected =
+      (hops + 1) * static_cast<double>(cfg.router_delay_cycles()) * cyc +
+      (hops + 2) * static_cast<double>(cfg.link_delay_cycles()) * cyc +
+      cfg.packet_flits * cyc;
+  EXPECT_GT(res.avg_latency_ns, 0.5 * expected);
+  EXPECT_LT(res.avg_latency_ns, 1.5 * expected);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const Topology topo = make_topology_by_name("torus", 16);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(16 * 4);
+  const SimConfig cfg = quick_config(2.0);
+  const SimResult a = run_simulation(topo, policy, traffic, cfg);
+  const SimResult b = run_simulation(topo, policy, traffic, cfg);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_DOUBLE_EQ(a.accepted_gbps_per_host, b.accepted_gbps_per_host);
+}
+
+TEST(Simulator, AcceptedTracksOfferedBelowSaturation) {
+  const Topology topo = make_topology_by_name("dsn", 64);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(64 * 4);
+  const SimResult res = run_simulation(topo, policy, traffic, quick_config(2.0));
+  ASSERT_TRUE(res.drained);
+  EXPECT_NEAR(res.accepted_gbps_per_host, 2.0, 0.4);
+}
+
+TEST(Simulator, DsnCustomPolicyDeliversEverything) {
+  const std::uint32_t n = 64;
+  const Topology topo = make_topology_by_name("dsn", n);
+  Dsn dsn_struct(n, dsn_default_x(n));
+  DsnCustomPolicy policy(dsn_struct);
+  UniformTraffic traffic(n * 4);
+  SimConfig cfg = quick_config(1.5);
+  const SimResult res = run_simulation(topo, policy, traffic, cfg);
+  ASSERT_FALSE(res.deadlock);
+  ASSERT_TRUE(res.drained);
+  EXPECT_EQ(res.packets_delivered, res.packets_measured);
+}
+
+TEST(Simulator, UpDownOnlyPolicyDeliversEverything) {
+  const Topology topo = make_topology_by_name("random", 32, 7);
+  SimRouting routing(topo);
+  UpDownOnlyPolicy policy(routing, 4);
+  UniformTraffic traffic(32 * 4);
+  const SimResult res = run_simulation(topo, policy, traffic, quick_config(1.0));
+  ASSERT_FALSE(res.deadlock);
+  ASSERT_TRUE(res.drained);
+}
+
+TEST(Simulator, SaturationReportsAcceptedBelowOffered) {
+  const Topology topo = make_topology_by_name("ring", 16);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(16 * 4);
+  // A 16-ring with 4 hosts/switch cannot carry 20 Gbps/host uniform traffic.
+  SimConfig cfg = quick_config(20.0);
+  cfg.drain_cycles = 20'000;
+  const SimResult res = run_simulation(topo, policy, traffic, cfg);
+  EXPECT_FALSE(res.deadlock);
+  EXPECT_LT(res.accepted_gbps_per_host, 19.0);
+}
+
+TEST(Simulator, HighLoadStressNoDeadlockAdaptive) {
+  const Topology topo = make_topology_by_name("dsn", 32);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(32 * 4);
+  SimConfig cfg = quick_config(50.0);  // way past saturation
+  cfg.warmup_cycles = 1'000;
+  cfg.measure_cycles = 5'000;
+  cfg.drain_cycles = 10'000;
+  const SimResult res = run_simulation(topo, policy, traffic, cfg);
+  EXPECT_FALSE(res.deadlock);  // escape layer must keep packets draining
+}
+
+TEST(Simulator, HighLoadStressNoDeadlockCustom) {
+  const std::uint32_t n = 64;
+  Dsn dsn_struct(n, dsn_default_x(n));
+  DsnCustomPolicy policy(dsn_struct);
+  UniformTraffic traffic(n * 4);
+  SimConfig cfg = quick_config(50.0);
+  cfg.warmup_cycles = 1'000;
+  cfg.measure_cycles = 5'000;
+  cfg.drain_cycles = 10'000;
+  const SimResult res = run_simulation(dsn_struct.topology(), policy, traffic, cfg);
+  EXPECT_FALSE(res.deadlock);
+}
+
+TEST(Simulator, BitReversalTrafficRuns) {
+  const Topology topo = make_topology_by_name("torus", 64);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  BitReversalTraffic traffic(64 * 4);
+  const SimResult res = run_simulation(topo, policy, traffic, quick_config(1.0));
+  ASSERT_TRUE(res.drained);
+}
+
+TEST(Simulator, NeighboringTrafficLowerLatencyThanUniformOnTorus) {
+  const Topology topo = make_topology_by_name("torus", 64);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  NeighboringTraffic nbr(64 * 4);
+  UniformTraffic uni(64 * 4);
+  const SimResult rn = run_simulation(topo, policy, nbr, quick_config(1.0));
+  const SimResult ru = run_simulation(topo, policy, uni, quick_config(1.0));
+  ASSERT_TRUE(rn.drained);
+  ASSERT_TRUE(ru.drained);
+  // 90% of neighboring packets travel very few hops.
+  EXPECT_LT(rn.avg_hops, ru.avg_hops);
+}
+
+TEST(Simulator, LinkFlitCountsAreRecorded) {
+  const Topology topo = make_topology_by_name("dsn", 32);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(32 * 4);
+  Simulator sim(topo, policy, traffic, quick_config(2.0));
+  const SimResult res = sim.run();
+  ASSERT_TRUE(res.drained);
+  std::uint64_t total = 0;
+  for (const auto v : sim.link_flit_counts()) total += v;
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,23 @@
+// Cross-module smoke test: build the paper trio at n = 64, check basic sanity.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/experiments.hpp"
+#include "dsn/analysis/factory.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(Smoke, PaperTrioAt64) {
+  for (const auto& family : paper_topology_trio()) {
+    const Topology topo = make_topology_by_name(family, 64);
+    const GraphSweepPoint pt = evaluate_topology(topo);
+    EXPECT_EQ(pt.n, 64u) << family;
+    EXPECT_GT(pt.diameter, 0u) << family;
+    EXPECT_GT(pt.aspl, 1.0) << family;
+    EXPECT_LE(pt.aspl, pt.diameter) << family;
+    EXPECT_GT(pt.avg_cable_m, 0.0) << family;
+  }
+}
+
+}  // namespace
+}  // namespace dsn

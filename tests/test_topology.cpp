@@ -1,0 +1,254 @@
+// Tests for the non-DSN topology generators: structural invariants of rings,
+// tori, DLN, DLN-x-y (RANDOM), Kleinberg grids and random regular graphs,
+// with parameterized sweeps over sizes and seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsn/common/math.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ring
+// ---------------------------------------------------------------------------
+
+TEST(Ring, Structure) {
+  const Topology t = make_ring(10);
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_EQ(t.graph.num_links(), 10u);
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.graph.degree(i), 2u);
+    EXPECT_TRUE(t.graph.has_link(i, (i + 1) % 10));
+  }
+  EXPECT_EQ(t.kind, TopologyKind::kRing);
+}
+
+TEST(Ring, RejectsTooSmall) { EXPECT_THROW(make_ring(2), PreconditionError); }
+
+// ---------------------------------------------------------------------------
+// torus
+// ---------------------------------------------------------------------------
+
+class Torus2dTest : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(Torus2dTest, StructureAndDiameter) {
+  const auto [w, h] = GetParam();
+  const Topology t = make_torus_2d(w, h);
+  EXPECT_EQ(t.num_nodes(), w * h);
+  // Degree: 4 everywhere except dimensions of size 2 contribute 1 not 2.
+  const std::size_t expect_deg = (w > 2 ? 2 : 1) + (h > 2 ? 2 : 1);
+  for (NodeId i = 0; i < t.num_nodes(); ++i) EXPECT_EQ(t.graph.degree(i), expect_deg);
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, w / 2 + h / 2);
+  ASSERT_EQ(t.dims.size(), 2u);
+  EXPECT_EQ(t.dims[0], w);
+  EXPECT_EQ(t.dims[1], h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Torus2dTest,
+                         ::testing::Values(std::pair{4u, 4u}, std::pair{8u, 8u},
+                                           std::pair{4u, 8u}, std::pair{2u, 4u},
+                                           std::pair{3u, 5u}, std::pair{16u, 16u}));
+
+TEST(Torus2d, NearSquareFactorization) {
+  const Topology t64 = make_torus_2d_near_square(64);
+  EXPECT_EQ(t64.dims[0] * t64.dims[1], 64u);
+  EXPECT_EQ(t64.dims[0], 8u);
+  EXPECT_EQ(t64.dims[1], 8u);
+  const Topology t32 = make_torus_2d_near_square(32);
+  EXPECT_EQ(t32.dims[0] * t32.dims[1], 32u);
+  EXPECT_EQ(t32.dims[1], 4u);  // 8x4
+}
+
+TEST(Torus2d, RejectsPrime) {
+  EXPECT_THROW(make_torus_2d_near_square(13), PreconditionError);
+}
+
+TEST(Torus3d, StructureAndDiameter) {
+  const Topology t = make_torus_3d(4, 4, 4);
+  EXPECT_EQ(t.num_nodes(), 64u);
+  for (NodeId i = 0; i < 64; ++i) EXPECT_EQ(t.graph.degree(i), 6u);
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_EQ(s.diameter, 6u);  // 2+2+2
+}
+
+TEST(Torus3d, NearCube) {
+  const Topology t = make_torus_3d_near_cube(64);
+  EXPECT_EQ(t.dims[0] * t.dims[1] * t.dims[2], 64u);
+  EXPECT_EQ(t.dims[2], 4u);
+}
+
+// ---------------------------------------------------------------------------
+// DLN
+// ---------------------------------------------------------------------------
+
+TEST(Dln, Dln2IsRing) {
+  const Topology t = make_dln(16, 2);
+  EXPECT_EQ(t.graph.num_links(), 16u);
+}
+
+TEST(Dln, ShortcutSpans) {
+  const std::uint32_t n = 64;
+  const Topology t = make_dln(n, 5);  // shortcuts at spans 32, 16, 8
+  EXPECT_TRUE(t.graph.has_link(0, 32));
+  EXPECT_TRUE(t.graph.has_link(0, 16));
+  EXPECT_TRUE(t.graph.has_link(0, 8));
+  EXPECT_FALSE(t.graph.has_link(0, 4));
+  EXPECT_TRUE(t.graph.has_link(5, (5 + 32) % n));
+}
+
+TEST(Dln, LogNDiameterIsLogarithmic) {
+  const std::uint32_t n = 256;
+  const Topology t = make_dln(n, ilog2_ceil(n));
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_LE(s.diameter, 2 * ilog2_ceil(n));
+}
+
+class DlnRandomTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DlnRandomTest, ExactDegreeFour) {
+  const std::uint32_t n = GetParam();
+  const Topology t = make_dln_random(n, 2, 2, /*seed=*/123);
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_EQ(t.graph.degree(i), 4u) << "node " << i << " n " << n;
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DlnRandomTest, ::testing::Values(32u, 64u, 128u, 256u, 512u));
+
+TEST(DlnRandom, DifferentSeedsGiveDifferentGraphs) {
+  const Topology a = make_dln_random(64, 2, 2, 1);
+  const Topology b = make_dln_random(64, 2, 2, 2);
+  bool differ = false;
+  for (LinkId l = 0; l < a.graph.num_links() && !differ; ++l) {
+    if (a.graph.link_endpoints(l) != b.graph.link_endpoints(l)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DlnRandom, SameSeedReproduces) {
+  const Topology a = make_dln_random(64, 2, 2, 9);
+  const Topology b = make_dln_random(64, 2, 2, 9);
+  ASSERT_EQ(a.graph.num_links(), b.graph.num_links());
+  for (LinkId l = 0; l < a.graph.num_links(); ++l) {
+    EXPECT_EQ(a.graph.link_endpoints(l), b.graph.link_endpoints(l));
+  }
+}
+
+TEST(DlnRandom, LowDiameter) {
+  const Topology t = make_dln_random(512, 2, 2, 5);
+  const auto s = compute_path_stats(t.graph);
+  EXPECT_LE(s.diameter, 10u);  // random degree-4 graphs are ~log n diameter
+}
+
+TEST(DlnRandomEndpoints, DegreeDistributionAndConnectivity) {
+  // The alternative construction: every node originates y = 2 shortcuts, so
+  // degree = 2 (ring) + 2 (out) + Binomial(in); average 6 exactly.
+  const std::uint32_t n = 256;
+  const Topology t = make_dln_random_endpoints(n, 2, 2, 3);
+  const auto deg = compute_degree_stats(t.graph);
+  EXPECT_DOUBLE_EQ(deg.avg_degree, 6.0);
+  EXPECT_GE(deg.min_degree, 4u);  // ring + 2 outgoing minimum
+  EXPECT_TRUE(is_connected(t.graph));
+  // No duplicate links.
+  for (NodeId u = 0; u < n; ++u) {
+    std::set<NodeId> seen;
+    for (const AdjHalf& h : t.graph.neighbors(u)) {
+      EXPECT_TRUE(seen.insert(h.to).second) << "duplicate link at " << u;
+    }
+  }
+}
+
+TEST(DlnRandomEndpoints, LowDiameterLikeMatchingConstruction) {
+  const auto a = compute_path_stats(make_dln_random(512, 2, 2, 5).graph);
+  const auto b = compute_path_stats(make_dln_random_endpoints(512, 2, 2, 5).graph);
+  // The denser endpoint construction can only do better or comparably.
+  EXPECT_LE(b.diameter, a.diameter + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kleinberg
+// ---------------------------------------------------------------------------
+
+TEST(Kleinberg, GridPlusShortcuts) {
+  const Topology t = make_kleinberg(8, 1, 2.0, 7);
+  EXPECT_EQ(t.num_nodes(), 64u);
+  // Base grid: 2 * 8 * 7 = 112 links; plus up to 64 shortcuts (dedup possible).
+  EXPECT_GE(t.graph.num_links(), 112u);
+  EXPECT_LE(t.graph.num_links(), 112u + 64u);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Kleinberg, ShortcutsReduceDiameter) {
+  const auto grid_only = make_kleinberg(12, 0, 2.0, 1);
+  const auto with_shortcuts = make_kleinberg(12, 2, 2.0, 1);
+  const auto s0 = compute_path_stats(grid_only.graph);
+  const auto s1 = compute_path_stats(with_shortcuts.graph);
+  EXPECT_EQ(s0.diameter, 22u);  // plain 12x12 grid
+  EXPECT_LT(s1.diameter, s0.diameter);
+}
+
+// ---------------------------------------------------------------------------
+// random regular
+// ---------------------------------------------------------------------------
+
+class RandomRegularTest : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RandomRegularTest, ExactDegree) {
+  const auto [n, d] = GetParam();
+  const Topology t = make_random_regular(n, d, 99);
+  for (NodeId i = 0; i < n; ++i) EXPECT_EQ(t.graph.degree(i), d);
+  // Simple graph: no parallel links.
+  for (LinkId l = 0; l < t.graph.num_links(); ++l) {
+    const auto [u, v] = t.graph.link_endpoints(l);
+    EXPECT_NE(u, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomRegularTest,
+                         ::testing::Values(std::pair{16u, 3u}, std::pair{64u, 4u},
+                                           std::pair{128u, 6u}, std::pair{33u, 4u}));
+
+TEST(RandomRegular, RejectsOddProduct) {
+  EXPECT_THROW(make_random_regular(15, 3, 1), PreconditionError);
+}
+
+TEST(RandomRegular, RejectsDegreeTooLarge) {
+  EXPECT_THROW(make_random_regular(4, 4, 1), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// link roles
+// ---------------------------------------------------------------------------
+
+TEST(LinkRoles, ParallelToLinks) {
+  for (const Topology& t :
+       {make_ring(8), make_torus_2d(4, 4), make_dln(32, 5), make_dln_random(32, 2, 2, 1)}) {
+    EXPECT_EQ(t.link_roles.size(), t.graph.num_links()) << t.name;
+  }
+}
+
+TEST(LinkRoles, TorusWrapLinksTagged) {
+  const Topology t = make_torus_2d(4, 4);
+  std::size_t wraps = 0;
+  for (const auto role : t.link_roles) {
+    if (role == LinkRole::kWrap) ++wraps;
+  }
+  EXPECT_EQ(wraps, 8u);  // 4 per dimension
+}
+
+TEST(LinkRoles, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(TopologyKind::kDsn), "dsn");
+  EXPECT_STREQ(to_string(TopologyKind::kTorus2D), "torus2d");
+  EXPECT_STREQ(to_string(LinkRole::kShortcut), "shortcut");
+  EXPECT_STREQ(to_string(LinkRole::kUp), "up");
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,72 @@
+// Tests for the Watts-Strogatz small-world model — the landmark reference
+// [20] of the paper — including the signature "small-world regime": a small
+// rewiring probability collapses path lengths while clustering stays high.
+#include <gtest/gtest.h>
+
+#include "dsn/graph/metrics.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(WattsStrogatz, BetaZeroIsTheLattice) {
+  const Topology t = make_watts_strogatz(64, 2, 0.0, 1);
+  // Ring lattice with k = 2: exactly 2k * n / 2 links, degree 4 everywhere.
+  EXPECT_EQ(t.graph.num_links(), 128u);
+  for (NodeId v = 0; v < 64; ++v) EXPECT_EQ(t.graph.degree(v), 4u);
+  EXPECT_TRUE(t.graph.has_link(0, 1));
+  EXPECT_TRUE(t.graph.has_link(0, 2));
+  EXPECT_FALSE(t.graph.has_link(0, 3));
+  // Lattice clustering for k = 2 is 0.5 (3 closed of 6 neighbor pairs).
+  EXPECT_NEAR(clustering_coefficient(t.graph), 0.5, 1e-9);
+}
+
+TEST(WattsStrogatz, LinkCountPreservedUnderRewiring) {
+  for (const double beta : {0.0, 0.1, 0.5, 1.0}) {
+    const Topology t = make_watts_strogatz(128, 3, beta, 7);
+    EXPECT_EQ(t.graph.num_links(), 128u * 3u) << beta;
+  }
+}
+
+TEST(WattsStrogatz, SmallWorldRegime) {
+  // The Watts-Strogatz signature: at beta ~ 0.1 the ASPL collapses toward
+  // the random graph's while clustering stays well above it.
+  const Topology lattice = make_watts_strogatz(512, 3, 0.0, 3);
+  const Topology small_world = make_watts_strogatz(512, 3, 0.1, 3);
+  const Topology random = make_watts_strogatz(512, 3, 1.0, 3);
+  ASSERT_TRUE(is_connected(lattice.graph));
+  ASSERT_TRUE(is_connected(small_world.graph));
+  ASSERT_TRUE(is_connected(random.graph));
+
+  const auto l = compute_path_stats(lattice.graph);
+  const auto s = compute_path_stats(small_world.graph);
+  const auto r = compute_path_stats(random.graph);
+  // Path length: lattice >> small-world ~ random.
+  EXPECT_GT(l.avg_shortest_path, 3.0 * s.avg_shortest_path);
+  EXPECT_LT(s.avg_shortest_path, 2.0 * r.avg_shortest_path);
+  // Clustering: small-world stays a large fraction of the lattice's,
+  // far above the random graph's.
+  const double cl = clustering_coefficient(lattice.graph);
+  const double cs = clustering_coefficient(small_world.graph);
+  const double cr = clustering_coefficient(random.graph);
+  EXPECT_GT(cs, 0.5 * cl);
+  EXPECT_GT(cs, 4.0 * cr);
+}
+
+TEST(WattsStrogatz, DeterministicForSeed) {
+  const Topology a = make_watts_strogatz(64, 2, 0.3, 11);
+  const Topology b = make_watts_strogatz(64, 2, 0.3, 11);
+  ASSERT_EQ(a.graph.num_links(), b.graph.num_links());
+  for (LinkId l = 0; l < a.graph.num_links(); ++l) {
+    EXPECT_EQ(a.graph.link_endpoints(l), b.graph.link_endpoints(l));
+  }
+}
+
+TEST(WattsStrogatz, RejectsBadParams) {
+  EXPECT_THROW(make_watts_strogatz(3, 1, 0.1, 1), PreconditionError);
+  EXPECT_THROW(make_watts_strogatz(64, 32, 0.1, 1), PreconditionError);
+  EXPECT_THROW(make_watts_strogatz(64, 2, 1.5, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn
