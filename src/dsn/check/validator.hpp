@@ -1,0 +1,85 @@
+// The invariant checker (the "tentpole" of the correctness-tooling layer).
+//
+// Validator runs a battery of structural checks over any Topology:
+//  - graph representation: adjacency symmetry, link-id bijection, self loops,
+//    id ranges, link_roles parallel-array consistency, per-kind role legality;
+//  - connectivity;
+//  - ring/grid completeness for ring- and lattice-based kinds;
+//  - degree bounds (e.g. average degree <= 4 for basic DSN-x-n — Theorem 1);
+//  - the DSN shortcut law (§IV-A): every level-l <= x node's shortcut lands on
+//    the *nearest clockwise* level-(l+1) node at ring distance >= floor(n/2^l),
+//    re-derived here from the paper's definition, independent of the generator;
+//  - CDG acyclicity for the deadlock-free variants (DSN-E physical links /
+//    DSN-V virtual channels, and up*/down* as the generic escape layer);
+//  - routing consistency: every hop produced by the DSN custom routing,
+//    torus DOR, grid greedy and up*/down* is a physical neighbor, routes
+//    start/end at the right nodes and terminate within a hop bound.
+//
+// Violations are *reported*, not thrown, so one run surfaces every problem.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dsn/check/violation.hpp"
+#include "dsn/graph/graph.hpp"
+#include "dsn/topology/hooks.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn::check {
+
+struct ValidatorOptions {
+  bool check_connectivity = true;
+  /// Routing-consistency scans (DSN custom routing, DOR, greedy, up*/down*).
+  bool check_routing = true;
+  /// Channel-dependency-graph acyclicity (DSN-E/DSN-V, up*/down*).
+  bool check_cdg = true;
+  /// All ordered pairs are routed when n <= this; above it, sources and
+  /// destinations are sampled with a fixed stride (still deterministic).
+  std::uint32_t exhaustive_routing_nodes = 320;
+  /// CDG construction is all-pairs; skip it entirely above this size.
+  std::uint32_t max_cdg_nodes = 1024;
+  /// Stop recording after this many violations (a corrupt topology can
+  /// otherwise produce O(n) repeats of the same defect).
+  std::size_t max_violations = 256;
+};
+
+/// Structural lint options: representation + topology-shape checks only.
+/// This is what the DSN_VALIDATE=1 generation hook runs (O(V + E)-ish).
+ValidatorOptions structural_options();
+
+class Validator {
+ public:
+  explicit Validator(ValidatorOptions options = {});
+
+  /// Run every applicable check family; never throws on a bad topology.
+  ValidationReport validate(const Topology& topo) const;
+
+  const ValidatorOptions& options() const { return options_; }
+
+ private:
+  ValidatorOptions options_;
+};
+
+/// One-shot convenience wrapper.
+ValidationReport validate_topology(const Topology& topo, ValidatorOptions options = {});
+
+/// Graph-representation checks over *raw* adjacency/link arrays. Exposed so
+/// the checker's own property tests can inject corruptions (asymmetric
+/// adjacency, miswired link ids) that the Graph API makes unrepresentable.
+void check_raw_graph(NodeId num_nodes,
+                     const std::vector<std::pair<NodeId, NodeId>>& links,
+                     const std::vector<std::vector<AdjHalf>>& adjacency,
+                     ValidationReport& report,
+                     std::size_t max_violations = 256);
+
+/// Install a topology-generation hook (see dsn/topology/hooks.hpp) that runs
+/// the structural checks on every freshly generated topology and throws
+/// dsn::InternalError when any error-severity violation is found. The hook is
+/// a no-op unless the DSN_VALIDATE environment variable is set to a non-empty,
+/// non-"0" value; DSN_VALIDATE=full additionally enables the routing and CDG
+/// check families. Returns the previously installed hook.
+dsn::TopologyGeneratedHook install_generation_hook();
+
+}  // namespace dsn::check

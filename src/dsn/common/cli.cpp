@@ -12,7 +12,7 @@ Cli::Cli(std::string program_description) : description_(std::move(program_descr
 
 void Cli::add_flag(const std::string& name, const std::string& default_value,
                    const std::string& help) {
-  DSN_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  DSN_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
   flags_[name] = Flag{default_value, help, default_value, false};
   order_.push_back(name);
 }
@@ -24,7 +24,7 @@ bool Cli::parse(int argc, const char* const* argv) {
       std::cout << usage(argv[0]);
       return false;
     }
-    DSN_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    DSN_REQUIRE(arg.starts_with("--"), "expected --flag, got: " + arg);
     arg = arg.substr(2);
     std::string value;
     bool has_value = false;

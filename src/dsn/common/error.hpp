@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace dsn {
 
@@ -41,14 +42,26 @@ namespace detail {
 }  // namespace detail
 }  // namespace dsn
 
+// The msg operand is wrapped in a lambda that is only invoked on failure, so
+// hot loops never pay for message construction (string concatenation,
+// std::to_string, ...) when the check passes.
+
 /// Check a documented caller-facing precondition; throws dsn::PreconditionError.
-#define DSN_REQUIRE(expr, msg)                                              \
-  do {                                                                      \
-    if (!(expr)) ::dsn::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+#define DSN_REQUIRE(expr, msg)                                                 \
+  do {                                                                         \
+    if (!(expr)) [[unlikely]] {                                                \
+      ::dsn::detail::throw_precondition(                                       \
+          #expr, __FILE__, __LINE__,                                           \
+          [&]() -> ::std::string { return (msg); }());                         \
+    }                                                                          \
   } while (false)
 
 /// Check an internal invariant; throws dsn::InternalError.
-#define DSN_ASSERT(expr, msg)                                               \
-  do {                                                                      \
-    if (!(expr)) ::dsn::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+#define DSN_ASSERT(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) [[unlikely]] {                                                \
+      ::dsn::detail::throw_internal(                                           \
+          #expr, __FILE__, __LINE__,                                           \
+          [&]() -> ::std::string { return (msg); }());                         \
+    }                                                                          \
   } while (false)

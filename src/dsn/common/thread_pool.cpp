@@ -32,12 +32,25 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+namespace {
+
+/// Pool the current thread is a worker of, or nullptr. Lets parallel_for run
+/// inline when called from inside one of its own tasks (nested parallelism)
+/// instead of deadlocking: the submitting worker would block waiting for
+/// chunks that only the (fully occupied) pool could run.
+thread_local ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
+
 void ThreadPool::wait_idle() {
+  DSN_REQUIRE(t_current_pool != this,
+              "wait_idle called from a pool worker would deadlock");
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -62,7 +75,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t total = end - begin;
   const std::size_t nthreads = workers_.size();
-  if (total == 1 || nthreads == 1) {
+  // Run inline when parallelism cannot help (single item / single worker) or
+  // when called from one of this pool's own workers: a nested parallel_for
+  // must not block a worker on chunks only the saturated pool could execute.
+  if (total == 1 || nthreads == 1 || t_current_pool == this) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -70,7 +86,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(total, nthreads * 4);
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
-  std::atomic<std::size_t> done{0};
+  std::size_t done = 0;  // guarded by done_mutex
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
@@ -88,16 +104,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         std::scoped_lock el(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      {
-        std::scoped_lock dl(done_mutex);
-        done.fetch_add(1, std::memory_order_relaxed);
-      }
+      // Increment and notify while holding the lock: once the waiter observes
+      // done == submitted it returns and destroys done_cv, so a notify after
+      // releasing the mutex would race with that destruction (use-after-free,
+      // caught by TSan).
+      std::scoped_lock dl(done_mutex);
+      ++done;
       done_cv.notify_one();
     });
   }
 
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load(std::memory_order_relaxed) == submitted; });
+  done_cv.wait(lock, [&] { return done == submitted; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

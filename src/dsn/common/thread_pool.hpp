@@ -2,7 +2,6 @@
 // all-pairs BFS sweeps and per-point experiment sweeps across cores.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -29,11 +28,15 @@ class ThreadPool {
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have completed.
+  /// Block until all submitted tasks have completed. Must not be called from
+  /// one of this pool's own workers (throws PreconditionError: it would wait
+  /// for the calling task to finish).
   void wait_idle();
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// Work is distributed in contiguous chunks for cache friendliness.
+  /// Reentrant: when called from inside one of this pool's own tasks the loop
+  /// runs inline on the calling worker (nested parallel_for cannot deadlock).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

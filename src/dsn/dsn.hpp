@@ -20,6 +20,7 @@
 #include "dsn/topology/dsn.hpp"
 #include "dsn/topology/dsn_ext.hpp"
 #include "dsn/topology/generators.hpp"
+#include "dsn/topology/hooks.hpp"
 #include "dsn/topology/io.hpp"
 #include "dsn/topology/related.hpp"
 #include "dsn/topology/topology.hpp"
@@ -43,3 +44,6 @@
 #include "dsn/analysis/experiments.hpp"
 #include "dsn/analysis/factory.hpp"
 #include "dsn/analysis/faults.hpp"
+
+#include "dsn/check/validator.hpp"
+#include "dsn/check/violation.hpp"

@@ -24,7 +24,7 @@ std::vector<NodeId> bfs_path_restricted(const Graph& g, NodeId s, NodeId t,
     const NodeId u = queue.front();
     queue.pop_front();
     for (const AdjHalf& h : g.neighbors(u)) {
-      if (seen[h.to] || banned_nodes[h.to] || banned_links.count(h.link)) continue;
+      if (seen[h.to] || banned_nodes[h.to] || banned_links.contains(h.link)) continue;
       seen[h.to] = 1;
       parent[h.to] = u;
       if (h.to == t) {

@@ -1,6 +1,7 @@
 #include "dsn/topology/dsn.hpp"
 
 #include "dsn/common/math.hpp"
+#include "dsn/topology/hooks.hpp"
 
 namespace dsn {
 
@@ -50,6 +51,7 @@ Dsn::Dsn(std::uint32_t n, std::uint32_t x) : n_(n), p_(0), x_(x), r_(0) {
       topology_.link_roles.push_back(LinkRole::kShortcut);
     }
   }
+  detail::notify_topology_generated(topology_);
 }
 
 Topology make_dsn(std::uint32_t n, std::uint32_t x) { return Dsn(n, x).topology(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsn/common/math.hpp"
+#include "dsn/topology/hooks.hpp"
 
 namespace dsn {
 
@@ -31,6 +32,7 @@ DsnE::DsnE(std::uint32_t n) : base_(n, dsn_default_x(n)) {
     extra_link_[i] = topology_.graph.add_link(i, i - 1);
     topology_.link_roles.push_back(LinkRole::kExtra);
   }
+  detail::notify_topology_generated(topology_);
 }
 
 // ---------------------------------------------------------------------------
@@ -68,6 +70,7 @@ DsnD::DsnD(std::uint32_t n, std::uint32_t express_per_super_node)
     }
     if (b == 0) break;
   }
+  detail::notify_topology_generated(topology_);
 }
 
 // ---------------------------------------------------------------------------
@@ -123,6 +126,7 @@ FlexDsn::FlexDsn(std::uint32_t n_major, std::uint32_t x, std::vector<NodeId> ins
       topology_.link_roles.push_back(LinkRole::kShortcut);
     }
   }
+  detail::notify_topology_generated(topology_);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +150,7 @@ Topology make_dsn_bidir(std::uint32_t n) {
       topo.link_roles.push_back(LinkRole::kShortcut);
     }
   }
+  detail::notify_topology_generated(topo);
   return topo;
 }
 

@@ -8,6 +8,7 @@
 
 #include "dsn/common/math.hpp"
 #include "dsn/common/rng.hpp"
+#include "dsn/topology/hooks.hpp"
 
 namespace dsn {
 
@@ -17,6 +18,13 @@ namespace {
 void add_role_link(Topology& t, NodeId u, NodeId v, LinkRole role) {
   t.graph.add_link(u, v);
   t.link_roles.push_back(role);
+}
+
+/// Notify the opt-in post-generation hook (DSN_VALIDATE) and hand back the
+/// finished topology.
+Topology finish(Topology t) {
+  detail::notify_topology_generated(t);
+  return t;
 }
 
 /// Adds a link unless it already exists; records the role when added.
@@ -32,7 +40,7 @@ Topology make_ring(std::uint32_t n) {
   DSN_REQUIRE(n >= 3, "ring needs at least 3 nodes");
   Topology t{"ring-" + std::to_string(n), TopologyKind::kRing, Graph(n), {}, {}};
   for (NodeId i = 0; i < n; ++i) add_role_link(t, i, (i + 1) % n, LinkRole::kRing);
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_torus_2d(std::uint32_t w, std::uint32_t h) {
@@ -56,7 +64,7 @@ Topology make_torus_2d(std::uint32_t w, std::uint32_t h) {
       }
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_torus_2d_near_square(std::uint32_t n) {
@@ -94,7 +102,7 @@ Topology make_torus_3d(std::uint32_t dx, std::uint32_t dy, std::uint32_t dz) {
       }
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_torus_3d_near_cube(std::uint32_t n) {
@@ -123,7 +131,7 @@ Topology make_dln(std::uint32_t n, std::uint32_t x) {
       add_role_link_unique(t, i, (i + span) % n, LinkRole::kShortcut);
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_dln_random(std::uint32_t n, std::uint32_t x, std::uint32_t y,
@@ -166,7 +174,7 @@ Topology make_dln_random(std::uint32_t n, std::uint32_t x, std::uint32_t y,
     }
     DSN_REQUIRE(done, "could not draw a collision-free random matching");
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_kleinberg(std::uint32_t side, std::uint32_t shortcuts_per_node,
@@ -209,7 +217,7 @@ Topology make_kleinberg(std::uint32_t side, std::uint32_t shortcuts_per_node,
       add_role_link_unique(t, u, chosen, LinkRole::kShortcut);
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_dln_random_endpoints(std::uint32_t n, std::uint32_t x, std::uint32_t y,
@@ -232,7 +240,7 @@ Topology make_dln_random_endpoints(std::uint32_t n, std::uint32_t x, std::uint32
       add_role_link(t, u, v, LinkRole::kShortcut);
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
@@ -263,7 +271,7 @@ Topology make_watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
       t.link_roles.push_back(role);
     }
   }
-  return t;
+  return finish(std::move(t));
 }
 
 Topology make_random_regular(std::uint32_t n, std::uint32_t degree, std::uint64_t seed) {
@@ -318,7 +326,7 @@ Topology make_random_regular(std::uint32_t n, std::uint32_t degree, std::uint64_
       if (a1 == b2 || a2 == b1) continue;
       const auto e1 = norm(a1, b2);
       const auto e2 = norm(a2, b1);
-      if (e1 == e2 || edges.count(e1) || edges.count(e2)) continue;
+      if (e1 == e2 || edges.contains(e1) || edges.contains(e2)) continue;
       // Remove the partner's (always valid) edge and the bad pair's edge if
       // it was the registered copy.
       edges.erase(norm(a2, b2));
@@ -346,7 +354,7 @@ Topology make_random_regular(std::uint32_t n, std::uint32_t degree, std::uint64_
       Topology t{"random-regular-" + std::to_string(degree) + "-" + std::to_string(n),
                  TopologyKind::kRandomRegular, Graph(n), {}, {}};
       for (const auto& [a, b] : pairs) add_role_link(t, a, b, LinkRole::kShortcut);
-      return t;
+      return finish(std::move(t));
     }
   }
   throw PreconditionError("could not sample a simple random regular graph");

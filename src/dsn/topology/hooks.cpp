@@ -1,0 +1,28 @@
+#include "dsn/topology/hooks.hpp"
+
+#include <atomic>
+
+namespace dsn {
+
+namespace {
+
+std::atomic<TopologyGeneratedHook> g_hook{nullptr};
+
+}  // namespace
+
+TopologyGeneratedHook set_topology_generated_hook(TopologyGeneratedHook hook) {
+  return g_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+TopologyGeneratedHook topology_generated_hook() {
+  return g_hook.load(std::memory_order_acquire);
+}
+
+namespace detail {
+
+void notify_topology_generated(const Topology& topo) {
+  if (const TopologyGeneratedHook hook = topology_generated_hook()) hook(topo);
+}
+
+}  // namespace detail
+}  // namespace dsn

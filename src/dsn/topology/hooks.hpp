@@ -1,0 +1,28 @@
+// Opt-in post-generation hook: every topology factory notifies the installed
+// hook (if any) with the finished Topology. The dsn::check module installs a
+// validating hook here (gated on the DSN_VALIDATE environment variable) so
+// tests, tools and applications can have every generated topology structurally
+// verified without the topology module depending on the checker.
+#pragma once
+
+#include "dsn/topology/topology.hpp"
+
+namespace dsn {
+
+/// Hook signature: inspect a freshly generated topology; throw to reject it.
+using TopologyGeneratedHook = void (*)(const Topology&);
+
+/// Install `hook` (nullptr disables). Returns the previously installed hook.
+/// Thread-safe; the hook itself must be safe to call concurrently.
+TopologyGeneratedHook set_topology_generated_hook(TopologyGeneratedHook hook);
+
+/// Currently installed hook, or nullptr.
+TopologyGeneratedHook topology_generated_hook();
+
+namespace detail {
+
+/// Called by every generator just before returning its topology.
+void notify_topology_generated(const Topology& topo);
+
+}  // namespace detail
+}  // namespace dsn

@@ -1,0 +1,323 @@
+// Property tests for the dsn::check invariant battery: every built-in
+// generator must validate clean across an n sweep, and injected corruptions
+// (dropped shortcuts, broken symmetry, miswired link ids, ...) must each be
+// caught with the exact Violation kind.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/check/validator.hpp"
+#include "dsn/common/error.hpp"
+#include "dsn/common/math.hpp"
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+#include "dsn/topology/generators.hpp"
+#include "dsn/topology/hooks.hpp"
+#include "dsn/topology/io.hpp"
+
+// Install the validating generation hook for the whole test binary: running
+// any suite with DSN_VALIDATE=1 (as ctest does) structurally revalidates
+// every topology every test generates, turning the entire test corpus into
+// checker input. The hook is inert when the variable is unset.
+[[maybe_unused]] const dsn::TopologyGeneratedHook g_previous_hook =
+    dsn::check::install_generation_hook();
+
+namespace {
+
+using dsn::LinkId;
+using dsn::LinkRole;
+using dsn::NodeId;
+using dsn::Topology;
+using dsn::check::ValidationReport;
+using dsn::check::ViolationKind;
+
+/// Rebuild `src` with link `id` either dropped (new_v == kInvalidNode) or
+/// rewired to (u, new_v). The public Graph API cannot mutate links in place,
+/// so corruption means replaying the insertion sequence with one edit —
+/// which also preserves insertion order, the owner convention, and roles.
+Topology rebuild_with_edit(const Topology& src, LinkId edit_id, NodeId new_v) {
+  Topology out;
+  out.name = src.name;
+  out.kind = src.kind;
+  out.dims = src.dims;
+  out.graph = dsn::Graph(src.num_nodes());
+  for (LinkId id = 0; id < src.graph.num_links(); ++id) {
+    auto [u, v] = src.graph.link_endpoints(id);
+    if (id == edit_id) {
+      if (new_v == dsn::kInvalidNode) continue;  // drop the link entirely
+      v = new_v;
+    }
+    out.graph.add_link(u, v);
+    out.link_roles.push_back(src.link_roles[id]);
+  }
+  return out;
+}
+
+/// First shortcut link that did not collapse onto the ring.
+LinkId find_real_shortcut(const Topology& topo) {
+  const NodeId n = topo.num_nodes();
+  for (LinkId id = 0; id < topo.graph.num_links(); ++id) {
+    if (topo.link_roles[id] != LinkRole::kShortcut) continue;
+    const auto [u, v] = topo.graph.link_endpoints(id);
+    const NodeId cw = (u + 1) % n;
+    const NodeId ccw = (u + n - 1) % n;
+    if (v != cw && v != ccw) return id;
+  }
+  return dsn::kInvalidLink;
+}
+
+TEST(CheckClean, AllGeneratorsAcrossSizes) {
+  // Includes non-power-of-two sizes; families that cannot realize a size
+  // (kleinberg needs square n) throw PreconditionError and are skipped.
+  const std::vector<std::string> names = {
+      "ring", "torus",  "torus3d", "dln",   "random", "kleinberg",
+      "random-regular", "dsn",     "dsn-d", "dsn-e",  "dsn-bidir"};
+  for (const std::uint32_t n : {48u, 64u, 81u, 100u, 128u}) {
+    for (const std::string& name : names) {
+      Topology topo;
+      try {
+        topo = dsn::make_topology_by_name(name, n, /*seed=*/7);
+      } catch (const dsn::PreconditionError&) {
+        continue;
+      }
+      const ValidationReport report = dsn::check::validate_topology(topo);
+      EXPECT_TRUE(report.ok()) << report.summary();
+    }
+  }
+}
+
+TEST(CheckClean, DsnFullXSweep) {
+  for (const std::uint32_t n : {48u, 96u}) {
+    const std::uint32_t p = dsn::ilog2_ceil(n);
+    for (std::uint32_t x = 1; x + 1 <= p; ++x) {
+      const dsn::Dsn dsn_topo(n, x);
+      const ValidationReport report = dsn::check::validate_topology(dsn_topo.topology());
+      EXPECT_TRUE(report.ok()) << "x=" << x << "\n" << report.summary();
+    }
+  }
+}
+
+TEST(CheckClean, WattsStrogatzAndFlex) {
+  const ValidationReport ws =
+      dsn::check::validate_topology(dsn::make_watts_strogatz(100, 4, 0.1, 3));
+  EXPECT_TRUE(ws.ok()) << ws.summary();
+  const dsn::FlexDsn flex(64, 3, {0, 10, 20});
+  const ValidationReport fr = dsn::check::validate_topology(flex.topology());
+  EXPECT_TRUE(fr.ok()) << fr.summary();
+}
+
+TEST(CheckCorruption, DroppedShortcutIsCaught) {
+  const Topology topo = dsn::make_dsn(64, 5);
+  const LinkId victim = find_real_shortcut(topo);
+  ASSERT_NE(victim, dsn::kInvalidLink);
+  const Topology bad = rebuild_with_edit(topo, victim, dsn::kInvalidNode);
+  const ValidationReport report =
+      dsn::check::validate_topology(bad, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kShortcutMissing)) << report.summary();
+}
+
+TEST(CheckCorruption, MiswiredShortcutTargetIsCaught) {
+  const Topology topo = dsn::make_dsn(64, 5);
+  const LinkId victim = find_real_shortcut(topo);
+  ASSERT_NE(victim, dsn::kInvalidLink);
+  const auto [u, v] = topo.graph.link_endpoints(victim);
+  // Shift the target one node clockwise: still a plausible-looking long link,
+  // but it violates the nearest-lawful-target rule.
+  NodeId wrong = (v + 1) % topo.num_nodes();
+  if (wrong == u) wrong = (wrong + 1) % topo.num_nodes();
+  const Topology bad = rebuild_with_edit(topo, victim, wrong);
+  const ValidationReport report =
+      dsn::check::validate_topology(bad, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kShortcutWrongTarget)) << report.summary();
+}
+
+TEST(CheckCorruption, ShortcutOnHighLevelNodeIsUnexpected) {
+  Topology topo = dsn::make_dsn(64, 2);  // levels 3..p own no shortcuts
+  const std::uint32_t p = dsn::ilog2_ceil(64);
+  // Find a node of level > x and give it an illegal shortcut.
+  NodeId owner = dsn::kInvalidNode;
+  for (NodeId i = 0; i < topo.num_nodes(); ++i) {
+    if (i % p + 1 > 2) {
+      owner = i;
+      break;
+    }
+  }
+  ASSERT_NE(owner, dsn::kInvalidNode);
+  const NodeId target = (owner + 17) % topo.num_nodes();
+  topo.graph.add_link(owner, target);
+  topo.link_roles.push_back(LinkRole::kShortcut);
+  const ValidationReport report =
+      dsn::check::validate_topology(topo, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kShortcutUnexpected)) << report.summary();
+}
+
+TEST(CheckCorruption, BrokenRingIsCaught) {
+  const Topology topo = dsn::make_dsn(64, 5);
+  LinkId ring_link = dsn::kInvalidLink;
+  for (LinkId id = 0; id < topo.graph.num_links(); ++id) {
+    if (topo.link_roles[id] == LinkRole::kRing) {
+      ring_link = id;
+      break;
+    }
+  }
+  ASSERT_NE(ring_link, dsn::kInvalidLink);
+  const Topology bad = rebuild_with_edit(topo, ring_link, dsn::kInvalidNode);
+  const ValidationReport report =
+      dsn::check::validate_topology(bad, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kRingIncomplete)) << report.summary();
+}
+
+TEST(CheckCorruption, DisconnectedGraphIsCaught) {
+  // A bare ring with two cuts falls into two components.
+  Topology ring = dsn::make_ring(16);
+  Topology bad = rebuild_with_edit(ring, 3, dsn::kInvalidNode);
+  // Link ids shifted down by one past the dropped link; drop what was link 10.
+  bad = rebuild_with_edit(bad, 9, dsn::kInvalidNode);
+  const ValidationReport report =
+      dsn::check::validate_topology(bad, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kDisconnected)) << report.summary();
+  EXPECT_TRUE(report.has(ViolationKind::kRingIncomplete)) << report.summary();
+}
+
+TEST(CheckCorruption, RoleCountMismatchIsCaught) {
+  Topology topo = dsn::make_dsn(32, 3);
+  topo.link_roles.pop_back();
+  const ValidationReport report =
+      dsn::check::validate_topology(topo, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kLinkRoleCount)) << report.summary();
+}
+
+TEST(CheckCorruption, IllegalRoleForKindIsCaught) {
+  Topology ring = dsn::make_ring(12);
+  ring.link_roles[4] = LinkRole::kDLocal;  // DSN-D-only role on a plain ring
+  const ValidationReport report =
+      dsn::check::validate_topology(ring, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kLinkRoleInvalid)) << report.summary();
+}
+
+TEST(CheckCorruption, DegreeBoundViolationIsCaught) {
+  // A chord on a plain ring pushes two nodes to degree 3 (rings are exactly 2).
+  Topology ring = dsn::make_ring(12);
+  ring.graph.add_link(0, 6);
+  ring.link_roles.push_back(LinkRole::kRing);
+  const ValidationReport report =
+      dsn::check::validate_topology(ring, dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kDegreeBound)) << report.summary();
+}
+
+TEST(CheckCorruption, EdgeListTamperingIsCaught) {
+  // Same dropped-shortcut defect, but injected through the io layer the way a
+  // hand-edited interchange file would arrive.
+  const Topology topo = dsn::make_dsn(64, 5);
+  const LinkId victim = find_real_shortcut(topo);
+  ASSERT_NE(victim, dsn::kInvalidLink);
+  const auto [u, v] = topo.graph.link_endpoints(victim);
+  const std::string needle =
+      std::to_string(u) + " " + std::to_string(v) + " shortcut";
+  std::istringstream in(dsn::to_edge_list(topo));
+  std::string text, line;
+  bool removed = false;
+  while (std::getline(in, line)) {
+    if (!removed && line == needle) {
+      removed = true;
+      continue;
+    }
+    text += line;
+    text += '\n';
+  }
+  ASSERT_TRUE(removed) << "edge-list line not found: " << needle;
+  const ValidationReport report = dsn::check::validate_topology(
+      dsn::parse_edge_list(text), dsn::check::structural_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kShortcutMissing)) << report.summary();
+}
+
+// --- Raw-representation corruptions (unreachable through the Graph API) ---
+
+TEST(CheckRaw, AsymmetricAdjacencyIsCaught) {
+  std::vector<std::pair<NodeId, NodeId>> links = {{0, 1}, {1, 2}};
+  std::vector<std::vector<dsn::AdjHalf>> adjacency(3);
+  adjacency[0] = {{1, 0}};
+  adjacency[1] = {{0, 0}, {2, 1}};
+  // Node 2's half of link 1 is missing: adjacency is asymmetric.
+  ValidationReport report;
+  dsn::check::check_raw_graph(3, links, adjacency, report);
+  EXPECT_TRUE(report.has(ViolationKind::kAdjacencySymmetry)) << report.summary();
+}
+
+TEST(CheckRaw, MiswiredLinkIdIsCaught) {
+  std::vector<std::pair<NodeId, NodeId>> links = {{0, 1}, {1, 2}};
+  std::vector<std::vector<dsn::AdjHalf>> adjacency(3);
+  adjacency[0] = {{1, 0}};
+  adjacency[1] = {{0, 0}, {2, 1}};
+  adjacency[2] = {{1, 0}};  // wrong link id: 0 instead of 1
+  ValidationReport report;
+  dsn::check::check_raw_graph(3, links, adjacency, report);
+  EXPECT_TRUE(report.has(ViolationKind::kLinkIdBijection)) << report.summary();
+}
+
+TEST(CheckRaw, SelfLoopAndRangeAreCaught) {
+  std::vector<std::pair<NodeId, NodeId>> links = {{0, 0}, {1, 9}};
+  std::vector<std::vector<dsn::AdjHalf>> adjacency(3);
+  ValidationReport report;
+  dsn::check::check_raw_graph(3, links, adjacency, report);
+  EXPECT_TRUE(report.has(ViolationKind::kSelfLoop)) << report.summary();
+  EXPECT_TRUE(report.has(ViolationKind::kNodeIdRange)) << report.summary();
+}
+
+TEST(CheckRaw, CleanGraphHasNoViolations) {
+  dsn::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 0);
+  std::vector<std::pair<NodeId, NodeId>> links;
+  for (LinkId id = 0; id < g.num_links(); ++id) links.push_back(g.link_endpoints(id));
+  std::vector<std::vector<dsn::AdjHalf>> adjacency(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    const auto span = g.neighbors(u);
+    adjacency[u].assign(span.begin(), span.end());
+  }
+  ValidationReport report;
+  dsn::check::check_raw_graph(4, links, adjacency, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// --- DSN_VALIDATE generation hook ---
+
+TEST(CheckHook, ValidatesGeneratedTopologiesWhenEnabled) {
+  const auto previous = dsn::check::install_generation_hook();
+  ::setenv("DSN_VALIDATE", "1", 1);
+  // Every generator fires the hook; correct topologies must pass silently.
+  EXPECT_NO_THROW(dsn::make_dsn(48, 3));
+  EXPECT_NO_THROW(dsn::make_topology_by_name("dsn-e", 64));
+  EXPECT_NO_THROW(dsn::make_topology_by_name("torus", 36));
+  ::setenv("DSN_VALIDATE", "0", 1);
+  EXPECT_NO_THROW(dsn::make_ring(8));
+  ::unsetenv("DSN_VALIDATE");
+  dsn::set_topology_generated_hook(previous);
+}
+
+TEST(CheckHook, InstallReturnsPreviousHook) {
+  const auto before = dsn::topology_generated_hook();
+  const auto previous = dsn::check::install_generation_hook();
+  EXPECT_EQ(previous, before);
+  EXPECT_NE(dsn::topology_generated_hook(), nullptr);
+  dsn::set_topology_generated_hook(previous);
+  EXPECT_EQ(dsn::topology_generated_hook(), before);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Concurrency stress tests for ThreadPool, written to run under TSan: many
+// external submitters, nested parallel_for (which used to deadlock), and the
+// "first exception wins" propagation contract from thread_pool.hpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsn/common/error.hpp"
+#include "dsn/common/thread_pool.hpp"
+
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersThenWaitIdle) {
+  dsn::ThreadPool pool(4);
+  std::atomic<std::size_t> counter{0};
+
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kTasksEach = 250;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (std::size_t t = 0; t < kTasksEach; ++t) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+
+  // The pool must stay usable after a wait_idle round.
+  pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach + 1);
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside one of the pool's own tasks must run
+  // inline instead of blocking the worker on chunks the saturated pool could
+  // never schedule. With 2 workers and 8 outer items this deadlocked before
+  // the reentrancy fix.
+  dsn::ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 1000, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 1000u);
+}
+
+TEST(ThreadPoolStress, NestedGlobalParallelForHelper) {
+  std::atomic<std::size_t> total{0};
+  dsn::parallel_for(0, 16, [&](std::size_t) {
+    dsn::parallel_for(0, 64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16u * 64u);
+}
+
+TEST(ThreadPoolStress, WaitIdleFromWorkerThrows) {
+  dsn::ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&] {
+    try {
+      pool.wait_idle();
+    } catch (const dsn::PreconditionError&) {
+      threw.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPoolStress, FirstExceptionWinsAndPoolSurvives) {
+  dsn::ThreadPool pool(4);
+
+  // Exactly one index throws; the exception must propagate out of
+  // parallel_for with its message intact, and every non-throwing index must
+  // still have run (chunks are independent).
+  std::vector<std::atomic<int>> ran(256);
+  bool caught = false;
+  try {
+    pool.parallel_for(0, 256, [&](std::size_t i) {
+      if (i == 131) throw std::runtime_error("boom at 131");
+      ran[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom at 131");
+  }
+  EXPECT_TRUE(caught);
+
+  // The pool must be fully usable after an exception round.
+  std::atomic<std::size_t> after{0};
+  pool.parallel_for(0, 512, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 512u);
+}
+
+TEST(ThreadPoolStress, ManyThrowersPropagateExactlyOne) {
+  dsn::ThreadPool pool(4);
+  std::atomic<int> caught{0};
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(0, 64, [&](std::size_t i) {
+        throw std::runtime_error("thrower " + std::to_string(i));
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  // Each round surfaces exactly one of the competing exceptions.
+  EXPECT_EQ(caught.load(), 20);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  // Several external threads drive parallel_for on the same pool at once;
+  // each call's completion accounting must stay independent (per-call done
+  // counters), and sums must come out exact.
+  dsn::ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  std::vector<std::size_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      std::atomic<std::size_t> sum{0};
+      pool.parallel_for(0, 2000, [&sum](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+      sums[c] = sum.load();
+    });
+  }
+  for (auto& th : callers) th.join();
+  const std::size_t expected = 2000u * 1999u / 2u;
+  for (std::size_t c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c], expected);
+}
+
+TEST(ThreadPoolStress, ParallelForTinyAndEmptyRanges) {
+  dsn::ThreadPool pool(3);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+}  // namespace
