@@ -4,6 +4,7 @@
 
 #include "dsn/analysis/factory.hpp"
 #include "dsn/graph/metrics.hpp"
+#include "dsn/routing/cdg.hpp"
 #include "dsn/routing/dsn_routing.hpp"
 #include "dsn/routing/updown.hpp"
 #include "dsn/topology/dsn.hpp"
@@ -73,5 +74,27 @@ void BM_UpDownTables(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UpDownTables)->RangeMultiplier(4)->Range(64, 512);
+
+void BM_BuildDsnCdg(benchmark::State& state) {
+  // All-ordered-pairs CDG construction on DSN-2-n, the low-x configuration
+  // whose routes degenerate toward ring walks — the stress case for the
+  // flat-hash channel index (total hops grow ~ n^2 * n/8 once the shortcut
+  // premise x > p - log p fails). One iteration per size: at n = 4096 a
+  // single build walks billions of hops, so this records wall time rather
+  // than a statistically tight mean.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const dsn::Dsn d(n, 2);
+  for (auto _ : state) {
+    auto cdg = dsn::build_dsn_cdg(d, /*extended=*/false);
+    benchmark::DoNotOptimize(cdg.num_dependencies());
+    state.counters["channels"] = static_cast<double>(cdg.num_channels());
+  }
+}
+BENCHMARK(BM_BuildDsnCdg)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace

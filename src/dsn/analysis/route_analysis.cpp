@@ -1,0 +1,571 @@
+#include "dsn/analysis/route_analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "dsn/common/math.hpp"
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/routing/dor.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/routing/greedy.hpp"
+#include "dsn/routing/updown.hpp"
+
+namespace dsn::analyze {
+
+const char* to_string(RoutingFamily family) {
+  switch (family) {
+    case RoutingFamily::kDsn: return "dsn";
+    case RoutingFamily::kDsnD: return "dsn-d";
+    case RoutingFamily::kTorusDor: return "dor";
+    case RoutingFamily::kGreedyGrid: return "greedy";
+    case RoutingFamily::kUpDown: return "updown";
+  }
+  return "unknown";
+}
+
+const char* to_string(ChannelScheme scheme) {
+  return scheme == ChannelScheme::kExtended ? "extended" : "basic";
+}
+
+// ---------------------------------------------------------------------------
+// Core all-pairs sweep
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Thread-local accumulator for a contiguous source range.
+struct Shard {
+  ChannelDependencyGraph cdg;
+  std::uint32_t max_hops = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t fallbacks = 0;
+  std::vector<RouteWitness> loops, endpoints, bounds;
+  std::vector<std::uint32_t> stamp;  // node -> last generation seen
+  std::uint32_t gen = 0;
+};
+
+void keep_witness(std::vector<RouteWitness>& list, std::size_t cap, NodeId s, NodeId t,
+                  const std::vector<NodeId>& path, std::string reason) {
+  if (list.size() >= cap) return;
+  list.push_back({s, t, path, std::move(reason)});
+}
+
+void merge_witnesses(std::vector<RouteWitness>& into, std::vector<RouteWitness>& from,
+                     std::size_t cap) {
+  for (auto& w : from) {
+    if (into.size() >= cap) break;
+    into.push_back(std::move(w));
+  }
+}
+
+double gini_index(std::vector<std::uint64_t> loads) {
+  if (loads.empty()) return 0.0;
+  std::sort(loads.begin(), loads.end());
+  long double weighted = 0.0L, total = 0.0L;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    weighted += static_cast<long double>(i + 1) * loads[i];
+    total += loads[i];
+  }
+  if (total == 0.0L) return 0.0;
+  const long double m = static_cast<long double>(loads.size());
+  return static_cast<double>(2.0L * weighted / (m * total) - (m + 1.0L) / m);
+}
+
+}  // namespace
+
+RouteAnalysis analyze_route_function(
+    NodeId n, const std::function<Route(NodeId, NodeId)>& route_fn,
+    const std::function<std::vector<Channel>(const Route&)>& channel_map,
+    std::uint32_t hop_bound, std::string hop_bound_law,
+    const RouteAnalysisOptions& options) {
+  DSN_REQUIRE(n >= 2, "route analysis needs at least two nodes");
+
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t num_shards =
+      std::max<std::size_t>(1, std::min<std::size_t>(n, 4 * pool.size()));
+  std::vector<Shard> shards(num_shards);
+
+  pool.parallel_for(0, num_shards, [&](std::size_t k) {
+    Shard& sh = shards[k];
+    sh.stamp.assign(n, 0);
+    std::vector<NodeId> path;
+    path.reserve(64);
+    const NodeId begin = static_cast<NodeId>(k * n / num_shards);
+    const NodeId end = static_cast<NodeId>((k + 1) * n / num_shards);
+    for (NodeId s = begin; s < end; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const Route r = route_fn(s, t);
+        const auto len = static_cast<std::uint32_t>(r.length());
+        sh.total_hops += len;
+        sh.max_hops = std::max(sh.max_hops, len);
+        if (r.used_fallback) ++sh.fallbacks;
+
+        // Reachability: non-empty hop chain s -> ... -> t without gaps.
+        path.clear();
+        path.push_back(s);
+        NodeId at = s;
+        bool chained = !r.hops.empty() && r.hops.front().from == s;
+        if (chained) {
+          for (const RouteHop& h : r.hops) {
+            if (h.from != at) {
+              chained = false;
+              break;
+            }
+            at = h.to;
+            path.push_back(at);
+          }
+        }
+        if (!chained || at != t) {
+          keep_witness(sh.endpoints, options.max_witnesses, s, t, path,
+                       !chained ? "route hop chain is broken or empty"
+                                : "route terminates at node " + std::to_string(at) +
+                                      " instead of the destination");
+        } else {
+          // Loop freedom: no node appears twice in the walked sequence.
+          ++sh.gen;
+          for (const NodeId v : path) {
+            if (sh.stamp[v] == sh.gen) {
+              keep_witness(sh.loops, options.max_witnesses, s, t, path,
+                           "route revisits node " + std::to_string(v));
+              break;
+            }
+            sh.stamp[v] = sh.gen;
+          }
+        }
+        if (options.check_hop_bound && hop_bound != 0 && len > hop_bound) {
+          keep_witness(sh.bounds, options.max_witnesses, s, t, path,
+                       std::to_string(len) + " hops exceed the analytic bound of " +
+                           std::to_string(hop_bound));
+        }
+        sh.cdg.add_route(channel_map(r));
+      }
+    }
+  });
+
+  // Deterministic merge in shard order.
+  RouteAnalysis ra;
+  ra.n = n;
+  ra.pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  ra.hop_bound = options.check_hop_bound ? hop_bound : 0;
+  ra.hop_bound_law = std::move(hop_bound_law);
+  ChannelDependencyGraph cdg = std::move(shards[0].cdg);
+  std::uint64_t total_hops = 0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    Shard& sh = shards[k];
+    if (k > 0) cdg.merge(sh.cdg);
+    ra.max_hops = std::max(ra.max_hops, sh.max_hops);
+    total_hops += sh.total_hops;
+    ra.fallback_routes += sh.fallbacks;
+    merge_witnesses(ra.loop_witnesses, sh.loops, options.max_witnesses);
+    merge_witnesses(ra.endpoint_witnesses, sh.endpoints, options.max_witnesses);
+    merge_witnesses(ra.bound_witnesses, sh.bounds, options.max_witnesses);
+  }
+  ra.avg_hops = static_cast<double>(total_hops) / static_cast<double>(ra.pairs);
+  ra.loop_free = ra.loop_witnesses.empty();
+  ra.all_reachable = ra.endpoint_witnesses.empty();
+  ra.within_hop_bound = ra.bound_witnesses.empty();
+
+  // Static channel load.
+  const std::vector<std::uint64_t>& loads = cdg.use_counts();
+  ra.load.channels = loads.size();
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    ra.load.total += loads[i];
+    if (loads[i] > ra.load.max_load) {
+      ra.load.max_load = loads[i];
+      ra.load.max_channel = cdg.channels()[i];
+    }
+  }
+  if (!loads.empty()) {
+    ra.load.mean_load =
+        static_cast<double>(ra.load.total) / static_cast<double>(loads.size());
+    ra.load.gini = gini_index(loads);
+  }
+  if (ra.load.max_load > 0) {
+    ra.load.max_normalized =
+        static_cast<double>(ra.load.max_load) / static_cast<double>(n - 1);
+    ra.load.throughput_bound = 1.0 / ra.load.max_normalized;
+  }
+
+  // Full-CDG acyclicity with a minimal cycle witness.
+  ra.cdg_channels = cdg.num_channels();
+  ra.cdg_dependencies = cdg.num_dependencies();
+  ra.cdg_acyclic = cdg.is_acyclic();
+  if (!ra.cdg_acyclic) {
+    ra.cdg_cycle = options.find_min_cycle
+                       ? cdg.find_shortest_cycle(options.min_cycle_work_cap)
+                       : cdg.find_cycle();
+  }
+  return ra;
+}
+
+// ---------------------------------------------------------------------------
+// Family-specific entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The paper's analytic per-pair bound for the DSN custom routing: Fact 2 /
+/// Theorem 2 give a routing diameter of 3p + r when x > p - log p. Outside
+/// the premise no bound is claimed (returns 0).
+std::pair<std::uint32_t, std::string> dsn_hop_bound(const Dsn& d) {
+  if (d.x() > d.p() - ilog2_ceil(d.p())) {
+    return {3 * d.p() + d.r(),
+            "Fact 2 / Theorem 2 (x > p - log p): 3p + r = " +
+                std::to_string(3 * d.p() + d.r())};
+  }
+  return {0, "no analytic bound: premise x > p - log p not met"};
+}
+
+Route path_to_route(NodeId s, NodeId t, const std::vector<NodeId>& path) {
+  Route r;
+  r.src = s;
+  r.dst = t;
+  r.hops.reserve(path.empty() ? 0 : path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    r.hops.push_back({path[i], path[i + 1], RoutePhase::kMain, HopKind::kSucc});
+  }
+  return r;
+}
+
+std::vector<Channel> single_class_channels(const Route& r) {
+  return dsn_route_channels_basic(r);
+}
+
+/// All maximal digit runs in `name`, in order ("dsn-5-100" -> {5, 100}).
+std::vector<std::uint64_t> name_numbers(const std::string& name) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t cur = 0;
+  bool in_number = false;
+  for (const char c : name) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      cur = cur * 10 + static_cast<std::uint64_t>(c - '0');
+      in_number = true;
+    } else if (in_number) {
+      out.push_back(cur);
+      cur = 0;
+      in_number = false;
+    }
+  }
+  if (in_number) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+RouteAnalysis analyze_dsn_routes(const Dsn& dsn, ChannelScheme scheme,
+                                 const RouteAnalysisOptions& options) {
+  const DsnRouter router(dsn);
+  auto [bound, law] = dsn_hop_bound(dsn);
+  const bool extended = scheme == ChannelScheme::kExtended;
+  RouteAnalysis ra = analyze_route_function(
+      dsn.n(), [&](NodeId s, NodeId t) { return router.route(s, t); },
+      [&](const Route& r) {
+        return extended ? dsn_route_channels_extended(dsn, r)
+                        : dsn_route_channels_basic(r);
+      },
+      bound, std::move(law), options);
+  ra.topology = dsn.topology().name;
+  ra.family = RoutingFamily::kDsn;
+  ra.scheme = scheme;
+  return ra;
+}
+
+RouteAnalysis analyze_dsn_d_routes(const DsnD& dd, const RouteAnalysisOptions& options) {
+  auto [bound, law] = dsn_hop_bound(dd.base());
+  RouteAnalysis ra = analyze_route_function(
+      dd.base().n(), [&](NodeId s, NodeId t) { return route_dsn_d(dd, s, t); },
+      [&](const Route& r) { return dsn_route_channels_extended(dd.base(), r); },
+      bound, std::move(law), options);
+  ra.topology = dd.topology().name;
+  ra.family = RoutingFamily::kDsnD;
+  ra.scheme = ChannelScheme::kExtended;
+  return ra;
+}
+
+RoutingFamily default_family(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDsn:
+    case TopologyKind::kDsnE:
+    case TopologyKind::kDsnBidir:
+      return RoutingFamily::kDsn;
+    case TopologyKind::kDsnD:
+      return RoutingFamily::kDsnD;
+    case TopologyKind::kTorus2D:
+    case TopologyKind::kTorus3D:
+      return RoutingFamily::kTorusDor;
+    case TopologyKind::kKleinberg:
+      return RoutingFamily::kGreedyGrid;
+    default:
+      return RoutingFamily::kUpDown;
+  }
+}
+
+RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family,
+                                      const RouteAnalysisOptions& options) {
+  const std::uint32_t n = topo.num_nodes();
+  DSN_REQUIRE(n >= 2, "route analysis needs at least two nodes");
+  const std::vector<std::uint64_t> nums = name_numbers(topo.name);
+
+  switch (family) {
+    case RoutingFamily::kDsn: {
+      const std::uint32_t p = ilog2_ceil(n);
+      std::uint32_t x = 0;
+      ChannelScheme scheme = ChannelScheme::kBasic;
+      if (topo.kind == TopologyKind::kDsn) {
+        DSN_REQUIRE(nums.size() == 2 && nums[1] == n,
+                    "DSN name does not encode (x, n): " + topo.name);
+        x = static_cast<std::uint32_t>(nums[0]);
+      } else if (topo.kind == TopologyKind::kDsnE) {
+        x = p - 1;
+        scheme = ChannelScheme::kExtended;
+      } else if (topo.kind == TopologyKind::kDsnBidir) {
+        x = p - 1;
+      } else {
+        throw PreconditionError("family 'dsn' does not apply to a " +
+                                std::string(to_string(topo.kind)) + " topology");
+      }
+      const Dsn base(n, x);
+      RouteAnalysis ra = analyze_dsn_routes(base, scheme, options);
+      ra.topology = topo.name;
+      return ra;
+    }
+    case RoutingFamily::kDsnD: {
+      DSN_REQUIRE(topo.kind == TopologyKind::kDsnD,
+                  "family 'dsn-d' needs a DSN-D topology");
+      DSN_REQUIRE(nums.size() == 2 && nums[1] == n,
+                  "DSN-D name does not encode (x, n): " + topo.name);
+      const DsnD dd(n, static_cast<std::uint32_t>(nums[0]));
+      RouteAnalysis ra = analyze_dsn_d_routes(dd, options);
+      ra.topology = topo.name;
+      return ra;
+    }
+    case RoutingFamily::kTorusDor: {
+      DSN_REQUIRE(topo.kind == TopologyKind::kTorus2D ||
+                      topo.kind == TopologyKind::kTorus3D,
+                  "family 'dor' needs a torus topology");
+      std::uint32_t bound = 0;
+      for (const std::uint32_t d : topo.dims) bound += d / 2;
+      RouteAnalysis ra = analyze_route_function(
+          n,
+          [&](NodeId s, NodeId t) {
+            return path_to_route(s, t, route_torus_dor(topo, s, t));
+          },
+          &single_class_channels, bound,
+          "DOR diameter: sum of per-dimension wrap distances = " +
+              std::to_string(bound),
+          options);
+      ra.topology = topo.name;
+      ra.family = RoutingFamily::kTorusDor;
+      return ra;
+    }
+    case RoutingFamily::kGreedyGrid: {
+      DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1] &&
+                      static_cast<std::uint64_t>(topo.dims[0]) * topo.dims[1] == n,
+                  "family 'greedy' needs a square grid topology");
+      RouteAnalysis ra = analyze_route_function(
+          n,
+          [&](NodeId s, NodeId t) {
+            return path_to_route(s, t, route_greedy_grid(topo, s, t));
+          },
+          &single_class_channels, 0,
+          "no analytic per-pair bound (greedy is O(log^2 n) in expectation)",
+          options);
+      ra.topology = topo.name;
+      ra.family = RoutingFamily::kGreedyGrid;
+      return ra;
+    }
+    case RoutingFamily::kUpDown: {
+      DSN_REQUIRE(is_connected(topo.graph),
+                  "up*/down* analysis needs a connected topology");
+      const UpDownRouting ud(topo.graph, 0);
+      RouteAnalysis ra = analyze_route_function(
+          n,
+          [&](NodeId s, NodeId t) { return path_to_route(s, t, ud.route(s, t)); },
+          &single_class_channels, 0, "no analytic per-pair bound for up*/down*",
+          options);
+      ra.topology = topo.name;
+      ra.family = RoutingFamily::kUpDown;
+      return ra;
+    }
+  }
+  throw PreconditionError("unknown routing family");
+}
+
+// ---------------------------------------------------------------------------
+// Witness rendering
+// ---------------------------------------------------------------------------
+
+std::string channel_class_name(ChannelScheme scheme, std::uint8_t cls) {
+  if (scheme == ChannelScheme::kExtended) {
+    switch (cls) {
+      case kClassUp: return "up";
+      case kClassMain: return "main";
+      case kClassFinish: return "finish";
+      case kClassExtra: return "extra";
+      default: break;
+    }
+  }
+  return "c" + std::to_string(cls);
+}
+
+std::string render_channel(const Topology& topo, const Channel& c, ChannelScheme scheme) {
+  std::ostringstream os;
+  os << c.from << "->" << c.to << " [" << channel_class_name(scheme, c.cls) << "]";
+  if (c.from >= topo.num_nodes() || c.to >= topo.num_nodes()) return os.str();
+
+  // Pick the physical link carrying this channel: among parallel (from, to)
+  // links prefer the one whose role matches the channel class (Up channels
+  // ride Up links, Extra channels ride Extra links, everything else rides the
+  // ring/shortcut fabric).
+  const LinkRole preferred = c.cls == kClassUp    ? LinkRole::kUp
+                             : c.cls == kClassExtra ? LinkRole::kExtra
+                                                    : LinkRole::kRing;
+  LinkId chosen = kInvalidLink;
+  for (const AdjHalf& h : topo.graph.neighbors(c.from)) {
+    if (h.to != c.to) continue;
+    if (chosen == kInvalidLink) chosen = h.link;
+    if (scheme == ChannelScheme::kExtended && h.link < topo.link_roles.size() &&
+        topo.link_roles[h.link] == preferred) {
+      chosen = h.link;
+      break;
+    }
+  }
+  if (chosen != kInvalidLink) {
+    os << " via ";
+    if (chosen < topo.link_roles.size()) os << to_string(topo.link_roles[chosen]) << " ";
+    os << "link#" << chosen;
+  } else {
+    os << " (no physical link)";
+  }
+  return os.str();
+}
+
+std::string render_cycle_witness(const Topology& topo, const std::vector<Channel>& cycle,
+                                 ChannelScheme scheme) {
+  std::ostringstream os;
+  os << "channel-cycle witness (" << cycle.size() << " channels, each waits on the next):\n";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    os << "  (" << i << ") " << render_channel(topo, cycle[i], scheme) << "\n";
+  }
+  os << "  -> (0) closes the cycle";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json channel_json(const Channel& c, ChannelScheme scheme) {
+  Json j = Json::object();
+  j.set("from", static_cast<std::uint64_t>(c.from));
+  j.set("to", static_cast<std::uint64_t>(c.to));
+  j.set("cls", static_cast<std::uint64_t>(c.cls));
+  j.set("class", channel_class_name(scheme, c.cls));
+  return j;
+}
+
+Json witness_json(const RouteWitness& w) {
+  Json j = Json::object();
+  j.set("src", static_cast<std::uint64_t>(w.src));
+  j.set("dst", static_cast<std::uint64_t>(w.dst));
+  j.set("reason", w.reason);
+  Json path = Json::array();
+  for (const NodeId v : w.path) path.push_back(static_cast<std::uint64_t>(v));
+  j.set("path", std::move(path));
+  return j;
+}
+
+}  // namespace
+
+Json to_json(const RouteAnalysis& a) {
+  Json j = Json::object();
+  j.set("topology", a.topology);
+  j.set("family", to_string(a.family));
+  j.set("scheme", to_string(a.scheme));
+  j.set("n", static_cast<std::uint64_t>(a.n));
+  j.set("pairs", a.pairs);
+
+  Json props = Json::object();
+  props.set("loop_free", a.loop_free);
+  props.set("all_reachable", a.all_reachable);
+  props.set("within_hop_bound", a.within_hop_bound);
+  props.set("no_fallback", a.fallback_routes == 0);
+  props.set("cdg_acyclic", a.cdg_acyclic);
+  j.set("properties", std::move(props));
+
+  j.set("hop_bound", a.hop_bound == 0 ? Json() : Json(static_cast<std::uint64_t>(a.hop_bound)));
+  j.set("hop_bound_law", a.hop_bound_law);
+  j.set("max_hops", static_cast<std::uint64_t>(a.max_hops));
+  j.set("avg_hops", a.avg_hops);
+  j.set("fallback_routes", a.fallback_routes);
+
+  Json witnesses = Json::object();
+  Json loops = Json::array(), endpoints = Json::array(), bounds = Json::array();
+  for (const auto& w : a.loop_witnesses) loops.push_back(witness_json(w));
+  for (const auto& w : a.endpoint_witnesses) endpoints.push_back(witness_json(w));
+  for (const auto& w : a.bound_witnesses) bounds.push_back(witness_json(w));
+  witnesses.set("loops", std::move(loops));
+  witnesses.set("endpoints", std::move(endpoints));
+  witnesses.set("hop_bound", std::move(bounds));
+  j.set("witnesses", std::move(witnesses));
+
+  Json load = Json::object();
+  load.set("channels", static_cast<std::uint64_t>(a.load.channels));
+  load.set("total", a.load.total);
+  load.set("max", a.load.max_load);
+  load.set("mean", a.load.mean_load);
+  load.set("gini", a.load.gini);
+  load.set("max_channel", channel_json(a.load.max_channel, a.scheme));
+  load.set("max_normalized", a.load.max_normalized);
+  load.set("throughput_bound", a.load.throughput_bound);
+  j.set("load", std::move(load));
+
+  Json cdg = Json::object();
+  cdg.set("channels", static_cast<std::uint64_t>(a.cdg_channels));
+  cdg.set("dependencies", static_cast<std::uint64_t>(a.cdg_dependencies));
+  cdg.set("acyclic", a.cdg_acyclic);
+  Json cycle = Json::array();
+  for (const Channel& c : a.cdg_cycle) cycle.push_back(channel_json(c, a.scheme));
+  cdg.set("cycle", std::move(cycle));
+  j.set("cdg", std::move(cdg));
+  return j;
+}
+
+std::string summary(const RouteAnalysis& a) {
+  std::ostringstream os;
+  const auto verdict = [](bool proven) { return proven ? "PROVEN" : "REFUTED"; };
+  os << "route-analysis " << a.topology << " [family=" << to_string(a.family)
+     << " scheme=" << to_string(a.scheme) << " n=" << a.n << " pairs=" << a.pairs
+     << "]\n";
+  os << "  loop freedom      " << verdict(a.loop_free) << "\n";
+  os << "  reachability      " << verdict(a.all_reachable) << "\n";
+  if (a.hop_bound != 0) {
+    os << "  hop bound         " << verdict(a.within_hop_bound) << " (max "
+       << a.max_hops << " vs " << a.hop_bound << "; " << a.hop_bound_law << ")\n";
+  } else {
+    os << "  hop bound         SKIPPED (" << a.hop_bound_law << "; max " << a.max_hops
+       << ")\n";
+  }
+  os << "  fallback routes   " << a.fallback_routes << "\n";
+  os << "  hops              max " << a.max_hops << ", avg " << a.avg_hops << "\n";
+  os << "  channel load      max " << a.load.max_load << ", mean " << a.load.mean_load
+     << ", gini " << a.load.gini << " over " << a.load.channels << " channels\n";
+  os << "  throughput bound  " << a.load.throughput_bound
+     << " (uniform injection rate saturating the hottest channel)\n";
+  os << "  CDG               " << a.cdg_channels << " channels, " << a.cdg_dependencies
+     << " dependencies: " << (a.cdg_acyclic ? "ACYCLIC (deadlock-free)" : "CYCLIC");
+  for (const auto* group : {&a.loop_witnesses, &a.endpoint_witnesses, &a.bound_witnesses}) {
+    for (const RouteWitness& w : *group) {
+      os << "\n  witness (" << w.src << " -> " << w.dst << "): " << w.reason;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dsn::analyze

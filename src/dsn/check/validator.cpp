@@ -1,12 +1,15 @@
 #include "dsn/check/validator.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "dsn/analysis/route_analysis.hpp"
 #include "dsn/common/math.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/routing/cdg.hpp"
@@ -434,23 +437,19 @@ void check_dln_shortcut_law(const Topology& topo, Reporter& rep) {
 // Routing consistency
 // -------------------------------------------------------------------------
 
-/// Visit a deterministic set of ordered (s, t) pairs: all of them up to
-/// `exhaustive` nodes, a strided sample above.
+/// Worst-case nodes the DSN routing-consistency sample must include: both
+/// ends of the Extra-channel window [0, 2p] (so FINISH walks near node 0 ride
+/// the Extra channels), a full-super-node crossing, and the last super node
+/// (which may be incomplete, r = n mod p).
+std::vector<NodeId> dsn_sampling_extremes(const DsnParams& params) {
+  const std::uint32_t p = params.p;
+  const std::uint32_t n = params.n;
+  return {1, p, 2 * p - 1, 2 * p, 2 * p + 1, static_cast<NodeId>(n - p)};
+}
+
 template <typename Fn>
-void for_sampled_pairs(NodeId n, std::uint32_t exhaustive, const Fn& fn) {
-  if (n <= exhaustive) {
-    for (NodeId s = 0; s < n; ++s)
-      for (NodeId t = 0; t < n; ++t)
-        if (s != t) fn(s, t);
-    return;
-  }
-  const NodeId stride = n / 48 + 1;
-  for (NodeId s = 0; s < n; s += stride) {
-    for (NodeId t = 0; t < n; t += stride)
-      if (s != t) fn(s, t);
-    fn(s, ring_succ(s, n));  // exercise the local-walk extremes too
-    fn(s, ring_pred(s, n));
-  }
+void for_pairs(const std::vector<std::pair<NodeId, NodeId>>& pairs, const Fn& fn) {
+  for (const auto& [s, t] : pairs) fn(s, t);
 }
 
 void check_node_path(const Topology& topo, const std::vector<NodeId>& path, NodeId s,
@@ -528,11 +527,15 @@ void check_routing_consistency(const Topology& topo, const std::optional<DsnPara
                                const UpDownRouting* updown, const ValidatorOptions& opts,
                                Reporter& rep) {
   const std::uint32_t n = topo.num_nodes();
+  const std::vector<NodeId> extremes =
+      dsn ? dsn_sampling_extremes(*dsn) : std::vector<NodeId>{};
+  const std::vector<std::pair<NodeId, NodeId>> pairs =
+      sampled_routing_pairs(n, opts.exhaustive_routing_nodes, extremes);
 
   // Generic escape-layer check: up*/down* must produce legal neighbor walks on
   // any connected topology.
   if (updown != nullptr) {
-    for_sampled_pairs(n, opts.exhaustive_routing_nodes, [&](NodeId s, NodeId t) {
+    for_pairs(pairs, [&](NodeId s, NodeId t) {
       if (rep.full()) return;
       const NodeId next = updown->next_hop(s, t);
       if (next == kInvalidNode || !topo.graph.has_link(s, next)) {
@@ -552,7 +555,7 @@ void check_routing_consistency(const Topology& topo, const std::optional<DsnPara
       if (!dsn) break;
       const Dsn base(dsn->n, dsn->x);
       const DsnRouter router(base);
-      for_sampled_pairs(n, opts.exhaustive_routing_nodes, [&](NodeId s, NodeId t) {
+      for_pairs(pairs, [&](NodeId s, NodeId t) {
         if (rep.full()) return;
         check_dsn_route(topo, router.route(s, t), s, t, rep);
       });
@@ -561,7 +564,7 @@ void check_routing_consistency(const Topology& topo, const std::optional<DsnPara
     case TopologyKind::kDsnD: {
       if (!dsn || dsn->xd < 1) break;
       const DsnD d(dsn->n, dsn->xd);
-      for_sampled_pairs(n, opts.exhaustive_routing_nodes, [&](NodeId s, NodeId t) {
+      for_pairs(pairs, [&](NodeId s, NodeId t) {
         if (rep.full()) return;
         check_dsn_route(topo, route_dsn_d(d, s, t), s, t, rep);
       });
@@ -569,7 +572,7 @@ void check_routing_consistency(const Topology& topo, const std::optional<DsnPara
     }
     case TopologyKind::kTorus2D:
     case TopologyKind::kTorus3D: {
-      for_sampled_pairs(n, opts.exhaustive_routing_nodes, [&](NodeId s, NodeId t) {
+      for_pairs(pairs, [&](NodeId s, NodeId t) {
         if (rep.full()) return;
         const NodeId next = torus_dor_next_hop(topo, s, t);
         if (next == kInvalidNode || !topo.graph.has_link(s, next)) {
@@ -586,7 +589,7 @@ void check_routing_consistency(const Topology& topo, const std::optional<DsnPara
       if (topo.dims.size() != 2 || topo.dims[0] != topo.dims[1] ||
           static_cast<std::uint64_t>(topo.dims[0]) * topo.dims[1] != n)
         break;  // Watts-Strogatz reuses this kind without grid dims
-      for_sampled_pairs(n, opts.exhaustive_routing_nodes, [&](NodeId s, NodeId t) {
+      for_pairs(pairs, [&](NodeId s, NodeId t) {
         if (rep.full()) return;
         check_node_path(topo, route_greedy_grid(topo, s, t), s, t, "greedy", rep);
       });
@@ -604,7 +607,9 @@ void check_cdg_acyclicity(const Topology& topo, const std::optional<DsnParams>& 
     if (!cdg.is_acyclic()) {
       rep.add(ViolationKind::kCdgCyclic, Severity::kError, kInvalidNode, kInvalidLink,
               "up*/down* channel dependency graph has a directed cycle (" +
-                  std::to_string(cdg.num_channels()) + " channels)");
+                  std::to_string(cdg.num_channels()) + " channels)\n" +
+                  analyze::render_cycle_witness(topo, cdg.find_shortest_cycle(),
+                                                analyze::ChannelScheme::kBasic));
     }
   }
   if (topo.kind == TopologyKind::kDsnE && dsn) {
@@ -614,9 +619,61 @@ void check_cdg_acyclicity(const Topology& topo, const std::optional<DsnParams>& 
     const ChannelDependencyGraph cdg = build_dsn_cdg(base, /*extended=*/true);
     if (!cdg.is_acyclic()) {
       rep.add(ViolationKind::kCdgCyclic, Severity::kError, kInvalidNode, kInvalidLink,
-              "extended DSN routing CDG (DSN-E/DSN-V, Theorem 3) has a directed cycle");
+              "extended DSN routing CDG (DSN-E/DSN-V, Theorem 3) has a directed "
+              "cycle\n" +
+                  analyze::render_cycle_witness(topo, cdg.find_shortest_cycle(),
+                                                analyze::ChannelScheme::kExtended));
     }
   }
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// The opt-in check_load family: run the whole-network route analyzer with
+/// the topology's native routing family, turn its witnesses into violations,
+/// and attach the static channel-load statistics to the report as a note.
+void check_route_load(const Topology& topo, const ValidatorOptions& opts,
+                      Reporter& rep, ValidationReport& report) {
+  analyze::RouteAnalysis ra;
+  try {
+    ra = analyze::analyze_topology_routes(topo, analyze::default_family(topo.kind));
+  } catch (const std::exception& e) {
+    report.notes.push_back(std::string("route/load analysis skipped: ") + e.what());
+    return;
+  }
+  const auto pair_prefix = [](const analyze::RouteWitness& w) {
+    return "route (" + std::to_string(w.src) + ", " + std::to_string(w.dst) + "): ";
+  };
+  for (const analyze::RouteWitness& w : ra.loop_witnesses) {
+    rep.add(ViolationKind::kRouteLoop, Severity::kError, w.src, kInvalidLink,
+            pair_prefix(w) + w.reason);
+  }
+  for (const analyze::RouteWitness& w : ra.endpoint_witnesses) {
+    rep.add(ViolationKind::kRouteWrongEndpoint, Severity::kError, w.src, kInvalidLink,
+            pair_prefix(w) + w.reason);
+  }
+  for (const analyze::RouteWitness& w : ra.bound_witnesses) {
+    rep.add(ViolationKind::kRouteBoundExceeded, Severity::kError, w.src, kInvalidLink,
+            pair_prefix(w) + w.reason + " (" + ra.hop_bound_law + ")");
+  }
+  if (opts.max_normalized_load > 0.0 &&
+      ra.load.max_normalized > opts.max_normalized_load) {
+    rep.add(ViolationKind::kChannelOverload, Severity::kError, ra.load.max_channel.from,
+            kInvalidLink,
+            "channel " + analyze::render_channel(topo, ra.load.max_channel, ra.scheme) +
+                " carries normalized load " + format_double(ra.load.max_normalized) +
+                " > limit " + format_double(opts.max_normalized_load));
+  }
+  report.notes.push_back(
+      "static channel load (" + std::string(analyze::to_string(ra.family)) +
+      ", all " + std::to_string(ra.pairs) + " pairs): max " +
+      std::to_string(ra.load.max_load) + ", mean " + format_double(ra.load.mean_load) +
+      ", gini " + format_double(ra.load.gini) + ", throughput bound " +
+      format_double(ra.load.throughput_bound));
 }
 
 }  // namespace
@@ -697,7 +754,47 @@ ValidationReport Validator::validate(const Topology& topo) const {
     ++report.checks_run;
     check_cdg_acyclicity(topo, dsn, updown ? &*updown : nullptr, rep);
   }
+  if (options_.check_load && connected && representable && n >= 2 &&
+      n <= options_.max_cdg_nodes) {
+    ++report.checks_run;
+    check_route_load(topo, options_, rep, report);
+  }
   return report;
+}
+
+std::vector<std::pair<NodeId, NodeId>> sampled_routing_pairs(
+    NodeId n, std::uint32_t exhaustive, std::span<const NodeId> extra_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (n < 2) return pairs;
+  if (n <= exhaustive) {
+    pairs.reserve(static_cast<std::size_t>(n) * (n - 1));
+    for (NodeId s = 0; s < n; ++s)
+      for (NodeId t = 0; t < n; ++t)
+        if (s != t) pairs.emplace_back(s, t);
+    return pairs;
+  }
+  // Strided node sample, forced to contain both extremes (so (0, n-1) is
+  // always visited) and every in-range caller-supplied worst-case node.
+  std::vector<NodeId> nodes;
+  const NodeId stride = n / 48 + 1;
+  for (NodeId s = 0; s < n; s += stride) nodes.push_back(s);
+  nodes.push_back(0);
+  nodes.push_back(n - 1);
+  for (const NodeId e : extra_nodes)
+    if (e < n) nodes.push_back(e);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  pairs.reserve(nodes.size() * (nodes.size() + 2));
+  for (const NodeId s : nodes) {
+    for (const NodeId t : nodes)
+      if (s != t) pairs.emplace_back(s, t);
+    pairs.emplace_back(s, ring_succ(s, n));  // exercise the local-walk extremes
+    pairs.emplace_back(s, ring_pred(s, n));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
 }
 
 ValidationReport validate_topology(const Topology& topo, ValidatorOptions options) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -35,15 +36,33 @@ struct ValidatorOptions {
   bool check_routing = true;
   /// Channel-dependency-graph acyclicity (DSN-E/DSN-V, up*/down*).
   bool check_cdg = true;
+  /// Opt-in: run the whole-network route analyzer (dsn::analyze) over all
+  /// ordered pairs — route loops, analytic hop bounds, static channel load —
+  /// and attach the load statistics to the report as a note.
+  bool check_load = false;
+  /// With check_load: flag kChannelOverload when the normalized maximum
+  /// channel load (max_load / (n-1)) exceeds this limit. 0 disables the
+  /// threshold; the statistics note is emitted either way.
+  double max_normalized_load = 0.0;
   /// All ordered pairs are routed when n <= this; above it, sources and
   /// destinations are sampled with a fixed stride (still deterministic).
   std::uint32_t exhaustive_routing_nodes = 320;
-  /// CDG construction is all-pairs; skip it entirely above this size.
+  /// CDG construction and the check_load analysis are all-pairs; skip them
+  /// entirely above this size.
   std::uint32_t max_cdg_nodes = 1024;
   /// Stop recording after this many violations (a corrupt topology can
   /// otherwise produce O(n) repeats of the same defect).
   std::size_t max_violations = 256;
 };
+
+/// The deterministic ordered (s, t) pairs the routing-consistency checks
+/// visit: all n(n-1) of them when n <= exhaustive, otherwise a strided sample
+/// that always contains 0 and n-1 (so the extreme pair (0, n-1) is exercised)
+/// plus every in-range node of `extra_nodes` (as both source and target) and
+/// each sampled node's ring successor/predecessor as targets. Sorted and
+/// duplicate-free.
+std::vector<std::pair<NodeId, NodeId>> sampled_routing_pairs(
+    NodeId n, std::uint32_t exhaustive, std::span<const NodeId> extra_nodes = {});
 
 /// Structural lint options: representation + topology-shape checks only.
 /// This is what the DSN_VALIDATE=1 generation hook runs (O(V + E)-ish).

@@ -27,6 +27,9 @@ const char* to_string(ViolationKind kind) {
     case ViolationKind::kRouteTooLong: return "route-too-long";
     case ViolationKind::kRouteFallback: return "route-fallback";
     case ViolationKind::kRoutePhaseOrder: return "route-phase-order";
+    case ViolationKind::kRouteLoop: return "route-loop";
+    case ViolationKind::kRouteBoundExceeded: return "route-bound-exceeded";
+    case ViolationKind::kChannelOverload: return "channel-overload";
   }
   return "unknown";
 }
@@ -62,6 +65,7 @@ bool ValidationReport::has(ViolationKind kind) const {
 std::string ValidationReport::summary() const {
   std::ostringstream os;
   for (const Violation& v : violations) os << v.to_line() << "\n";
+  for (const std::string& n : notes) os << "note: " << n << "\n";
   os << topology << ": " << checks_run << " checks, " << errors() << " errors, "
      << warnings() << " warnings";
   return os.str();

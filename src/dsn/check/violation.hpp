@@ -40,6 +40,10 @@ enum class ViolationKind {
   kRouteTooLong,        ///< route exceeded the defensive hop bound
   kRouteFallback,       ///< DSN routing hit its defensive ring-walk fallback
   kRoutePhaseOrder,     ///< PRE-WORK/MAIN/FINISH phases out of order
+  // Whole-network route analysis (opt-in check_load).
+  kRouteLoop,           ///< a route revisits a node
+  kRouteBoundExceeded,  ///< a route exceeds the paper's analytic hop bound
+  kChannelOverload,     ///< static channel load above the configured limit
 };
 
 const char* to_string(ViolationKind kind);
@@ -66,6 +70,9 @@ struct ValidationReport {
   std::string topology;           ///< name of the validated topology
   std::size_t checks_run = 0;     ///< number of check families executed
   std::vector<Violation> violations;
+  /// Informational findings that are not violations (e.g. the static
+  /// channel-load statistics computed by the opt-in check_load family).
+  std::vector<std::string> notes;
 
   std::size_t errors() const;
   std::size_t warnings() const;

@@ -11,10 +11,15 @@
 // some route holds c1 and then immediately requests c2. The routing is
 // deadlock-free (for virtual cut-through) if the resulting directed graph is
 // acyclic.
+//
+// Channels are indexed through a flat hash table (not an ordered map) and
+// adjacency rows reserve ahead, so all-pairs builds stay cheap at n = 4096.
+// Build functions shard the ordered-pair sweep across the global thread pool
+// into thread-local graphs merged deterministically at the end.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "dsn/common/types.hpp"
@@ -31,28 +36,73 @@ struct Channel {
   auto operator<=>(const Channel&) const = default;
 };
 
+/// Multiplicative mix of the (from, to, cls) triple. The three multiplies
+/// are independent (no xor-shift chain), which matters in the all-pairs
+/// sweeps where this hash runs once per route hop; the probe table keeps its
+/// load factor under 1/2, so the slightly weaker mixing costs nothing.
+struct ChannelHash {
+  std::size_t operator()(const Channel& c) const {
+    const std::uint64_t z = (c.from + 1ull) * 0x9e3779b97f4a7c15ULL ^
+                            (c.to + 1ull) * 0xbf58476d1ce4e5b9ULL ^
+                            (c.cls + 1ull) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 29));
+  }
+};
+
 class ChannelDependencyGraph {
  public:
   /// Record the channel sequence of one route; consecutive channels create
-  /// dependencies. Duplicate channels/dependencies are collapsed.
+  /// dependencies. Duplicate dependencies are collapsed; every traversal of a
+  /// channel still counts toward its static load (use_count).
   void add_route(const std::vector<Channel>& channels);
+
+  /// Pre-size the index and channel arrays for an expected channel count.
+  void reserve(std::size_t expected_channels);
+
+  /// Merge another CDG into this one (channels re-indexed, dependencies
+  /// deduplicated, use counts added). Used to combine per-thread shards.
+  void merge(const ChannelDependencyGraph& other);
 
   std::size_t num_channels() const { return adjacency_.size(); }
   std::size_t num_dependencies() const { return num_deps_; }
 
+  /// All channels, indexed by their dense channel id.
+  const std::vector<Channel>& channels() const { return channels_; }
+
+  /// Number of route traversals of each channel (the static channel load),
+  /// parallel to channels().
+  const std::vector<std::uint64_t>& use_counts() const { return use_counts_; }
+
+  /// True iff the dependency a -> b has been recorded.
+  bool has_dependency(const Channel& a, const Channel& b) const;
+
   /// True iff the dependency graph has no directed cycle (Kahn's algorithm).
   bool is_acyclic() const;
 
-  /// One directed cycle (as channel indices into channels()) or empty when
-  /// acyclic — useful for diagnostics and the negative-control test.
+  /// One directed cycle (channel sequence; each element depends on the next,
+  /// and the last depends on the first) or empty when acyclic.
   std::vector<Channel> find_cycle() const;
+
+  /// A *shortest* directed cycle, for human-readable deadlock witnesses.
+  /// Searches per-SCC breadth-first; when the estimated work exceeds
+  /// `work_cap` it falls back to the (not necessarily minimal) DFS cycle.
+  std::vector<Channel> find_shortest_cycle(std::uint64_t work_cap = 1ULL << 28) const;
 
  private:
   std::uint32_t channel_index(const Channel& c);
+  std::uint32_t find_index(const Channel& c) const;
+  void grow_slots(std::size_t min_capacity);
 
-  std::map<Channel, std::uint32_t> index_;
+  // Open-addressing index over channels_: slots_ holds channel-id + 1 (0 =
+  // empty) in a power-of-two table probed linearly. A node-based hash map
+  // here costs a pointer chase per hop; the all-pairs sweeps call
+  // channel_index once per route hop (billions of times at n = 4096), so the
+  // probe table is the difference between seconds and minutes.
+  std::vector<std::uint32_t> slots_;
+  std::size_t slot_mask_ = 0;
   std::vector<Channel> channels_;
   std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::uint64_t> use_counts_;
   std::size_t num_deps_ = 0;
 };
 
@@ -74,11 +124,12 @@ std::vector<Channel> dsn_route_channels_extended(const Dsn& dsn, const Route& ro
 /// unprotected design — expected to yield a cyclic CDG).
 std::vector<Channel> dsn_route_channels_basic(const Route& route);
 
-/// Build the CDG of the DSN custom routing over all ordered pairs.
+/// Build the CDG of the DSN custom routing over all ordered pairs
+/// (parallelized over sources; the result is deterministic).
 ChannelDependencyGraph build_dsn_cdg(const Dsn& dsn, bool extended,
                                      bool nearest_prework = false);
 
-/// Build the CDG of an up*/down* routing over all ordered pairs.
+/// Build the CDG of an up*/down* routing over all ordered pairs (parallel).
 class UpDownRouting;
 ChannelDependencyGraph build_updown_cdg(const UpDownRouting& routing);
 

@@ -70,6 +70,23 @@ Route DsnRouter::route(NodeId s, NodeId t) const {
     return r;
   }
 
+  // Short clockwise distances are also pure FINISH: MAIN stops at dist <= p
+  // anyway, so PRE-WORK's counterclockwise descent would only detour — and
+  // make the route revisit its own source on the way back.
+  if (cw(s, t, n) <= p) {
+    ring_walk(d, u, t, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
+  // When the required shortcut level exceeds x, every owned shortcut
+  // overshoots the destination: the route degenerates to a ring walk, and
+  // PRE-WORK would again detour through already-visited nodes. This only
+  // happens outside the x > p - log p premise of Theorems 1-2.
+  if (level_for_distance(cw(s, t, n)) > x) {
+    ring_walk(d, u, t, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
   // ----- PRE-WORK: reach a node whose level matches the required shortcut
   // level l for the current clockwise distance to t.
   std::uint32_t l = level_for_distance(cw(u, t, n));
@@ -244,6 +261,24 @@ Route route_dsn_d(const DsnD& dd, NodeId s, NodeId t, DsnRoutingOptions options)
   // Short counterclockwise destinations go straight to FINISH (see route()).
   if (n - cw(s, t, n) <= p + d.r()) {
     express_walk(dd, u, t, /*succ_ward=*/false, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
+  // Short clockwise distances are also pure FINISH: MAIN stops at dist <= p
+  // anyway, so the PRE-WORK descent would only detour — and make the route
+  // revisit its own source on the way back (mirrors DsnRouter::route).
+  if (cw(s, t, n) <= p) {
+    express_walk(dd, u, t, /*succ_ward=*/true, RoutePhase::kFinish, r.hops);
+    return r;
+  }
+
+  // When the required shortcut level exceeds x, every owned shortcut
+  // overshoots the destination: the route degenerates to an express-assisted
+  // ring walk, and PRE-WORK would again detour through already-visited
+  // nodes. Only happens outside the x > p - log p premise of Theorems 1-2.
+  if (level_for(cw(s, t, n)) > x) {
+    const std::uint64_t dist_cw = cw(s, t, n);
+    express_walk(dd, u, t, /*succ_ward=*/dist_cw <= n - dist_cw, RoutePhase::kFinish, r.hops);
     return r;
   }
 

@@ -3,6 +3,8 @@
 // control, acyclicity of up*/down*, and unit tests of the CDG container.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dsn/analysis/factory.hpp"
 #include "dsn/routing/cdg.hpp"
 #include "dsn/routing/dsn_routing.hpp"
@@ -50,6 +52,138 @@ TEST(Cdg, DuplicateDependenciesCollapsed) {
   cdg.add_route({{0, 1, 0}, {1, 2, 0}});
   cdg.add_route({{0, 1, 0}, {1, 2, 0}});
   EXPECT_EQ(cdg.num_dependencies(), 1u);
+}
+
+TEST(Cdg, UseCountsAccumulatePerTraversal) {
+  // Dependencies dedupe, but use counts (the static channel load) must keep
+  // counting every traversal.
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{1, 2, 0}, {2, 3, 0}});
+  ASSERT_EQ(cdg.num_channels(), 3u);
+  const auto& channels = cdg.channels();
+  const auto& counts = cdg.use_counts();
+  ASSERT_EQ(counts.size(), channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    std::uint64_t expected = 0;
+    if (channels[i] == Channel{0, 1, 0}) expected = 2;
+    if (channels[i] == Channel{1, 2, 0}) expected = 3;
+    if (channels[i] == Channel{2, 3, 0}) expected = 1;
+    EXPECT_EQ(counts[i], expected) << "channel " << channels[i].from << "->" << channels[i].to;
+  }
+}
+
+TEST(Cdg, HasDependencyReflectsRecordedEdgesOnly) {
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}, {2, 3, 0}});
+  EXPECT_TRUE(cdg.has_dependency({0, 1, 0}, {1, 2, 0}));
+  EXPECT_TRUE(cdg.has_dependency({1, 2, 0}, {2, 3, 0}));
+  EXPECT_FALSE(cdg.has_dependency({0, 1, 0}, {2, 3, 0}));  // not consecutive
+  EXPECT_FALSE(cdg.has_dependency({1, 2, 0}, {0, 1, 0}));  // wrong direction
+  EXPECT_FALSE(cdg.has_dependency({9, 8, 0}, {8, 7, 0}));  // unknown channels
+  EXPECT_FALSE(cdg.has_dependency({0, 1, 1}, {1, 2, 1}));  // wrong class
+}
+
+TEST(Cdg, MergeReindexesDedupesAndAddsLoads) {
+  // Two shards sharing a channel: the merge must re-index, collapse the
+  // duplicate dependency, and sum the shared channel's load.
+  ChannelDependencyGraph a;
+  a.add_route({{0, 1, 0}, {1, 2, 0}});
+  ChannelDependencyGraph b;
+  b.add_route({{0, 1, 0}, {1, 2, 0}});  // duplicate of a's route
+  b.add_route({{1, 2, 0}, {2, 3, 0}});  // new channel + dependency
+  a.merge(b);
+  EXPECT_EQ(a.num_channels(), 3u);
+  EXPECT_EQ(a.num_dependencies(), 2u);
+  EXPECT_TRUE(a.has_dependency({0, 1, 0}, {1, 2, 0}));
+  EXPECT_TRUE(a.has_dependency({1, 2, 0}, {2, 3, 0}));
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : a.use_counts()) total += c;
+  EXPECT_EQ(total, 2u + 2u + 2u);  // 0->1 twice, 1->2 three times, 2->3 once
+}
+
+TEST(Cdg, MergeMatchesSingleGraphBuild) {
+  // Sharded build + merge must agree with a monolithic build on every
+  // observable: channel set, dependency count, per-channel loads, acyclicity.
+  const Dsn d(96, 2);
+  DsnRouter router(d);
+  ChannelDependencyGraph mono, left, right;
+  for (NodeId s = 0; s < d.n(); ++s) {
+    for (NodeId t = 0; t < d.n(); ++t) {
+      if (s == t) continue;
+      const auto channels = dsn_route_channels_extended(d, router.route(s, t));
+      mono.add_route(channels);
+      (s < d.n() / 2 ? left : right).add_route(channels);
+    }
+  }
+  left.merge(right);
+  ASSERT_EQ(left.num_channels(), mono.num_channels());
+  EXPECT_EQ(left.num_dependencies(), mono.num_dependencies());
+  EXPECT_EQ(left.is_acyclic(), mono.is_acyclic());
+  // Loads agree channel by channel (indices may differ between the builds).
+  for (std::size_t i = 0; i < mono.channels().size(); ++i) {
+    const Channel& c = mono.channels()[i];
+    const auto& lc = left.channels();
+    const auto it = std::find(lc.begin(), lc.end(), c);
+    ASSERT_NE(it, lc.end());
+    EXPECT_EQ(left.use_counts()[static_cast<std::size_t>(it - lc.begin())],
+              mono.use_counts()[i]);
+  }
+}
+
+TEST(Cdg, FindShortestCycleReturnsMinimalWitness) {
+  // A 2-cycle buried alongside a long 5-cycle: the shortest-cycle search must
+  // return the 2-cycle, and its edges must all be real dependencies.
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 0, 0}, {0, 1, 0}});  // 2-cycle a <-> b
+  cdg.add_route({{2, 3, 0}, {3, 4, 0}});
+  cdg.add_route({{3, 4, 0}, {4, 5, 0}});
+  cdg.add_route({{4, 5, 0}, {5, 6, 0}});
+  cdg.add_route({{5, 6, 0}, {6, 2, 0}});
+  cdg.add_route({{6, 2, 0}, {2, 3, 0}});
+  ASSERT_FALSE(cdg.is_acyclic());
+  const auto cycle = cdg.find_shortest_cycle();
+  ASSERT_EQ(cycle.size(), 2u);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_TRUE(cdg.has_dependency(cycle[i], cycle[(i + 1) % cycle.size()]));
+  }
+}
+
+TEST(Cdg, FindShortestCycleWorkCapFallsBackToDfs) {
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.add_route({{1, 2, 0}, {2, 0, 0}});
+  cdg.add_route({{2, 0, 0}, {0, 1, 0}});
+  // Work cap 0 forces the DFS fallback; the witness must still be a cycle.
+  const auto cycle = cdg.find_shortest_cycle(/*work_cap=*/0);
+  ASSERT_GE(cycle.size(), 2u);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_TRUE(cdg.has_dependency(cycle[i], cycle[(i + 1) % cycle.size()]));
+  }
+}
+
+TEST(Cdg, ReserveDoesNotDisturbContents) {
+  ChannelDependencyGraph cdg;
+  cdg.add_route({{0, 1, 0}, {1, 2, 0}});
+  cdg.reserve(4096);
+  cdg.add_route({{1, 2, 0}, {2, 0, 0}});
+  EXPECT_EQ(cdg.num_channels(), 3u);
+  EXPECT_TRUE(cdg.has_dependency({0, 1, 0}, {1, 2, 0}));
+  EXPECT_TRUE(cdg.has_dependency({1, 2, 0}, {2, 0, 0}));
+}
+
+TEST(Cdg, IndexSurvivesRehashGrowth) {
+  // Insert enough distinct channels to force several probe-table growths,
+  // then verify every channel still resolves (lookups after rehash).
+  ChannelDependencyGraph cdg;
+  for (NodeId i = 0; i < 5000; ++i) {
+    cdg.add_route({{i, i + 1, 0}, {i + 1, i + 2, 0}});
+  }
+  EXPECT_EQ(cdg.num_channels(), 5001u);
+  EXPECT_TRUE(cdg.has_dependency({0, 1, 0}, {1, 2, 0}));
+  EXPECT_TRUE(cdg.has_dependency({4999, 5000, 0}, {5000, 5001, 0}));
+  EXPECT_FALSE(cdg.has_dependency({5000, 5001, 0}, {4999, 5000, 0}));
 }
 
 // --------------------------------------------------------------------------

@@ -311,6 +311,95 @@ TEST(CheckHook, ValidatesGeneratedTopologiesWhenEnabled) {
   dsn::set_topology_generated_hook(previous);
 }
 
+// --- opt-in whole-network route/load analysis (check_load) ---
+
+TEST(CheckLoad, CleanDsnPassesAndReportsLoadNote) {
+  dsn::check::ValidatorOptions options;
+  options.check_load = true;
+  const ValidationReport report =
+      dsn::check::validate_topology(dsn::make_topology_by_name("dsn-e", 64), options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // The load statistics ride along as a note even when nothing is violated.
+  bool saw_load_note = false;
+  for (const std::string& note : report.notes) {
+    if (note.find("static channel load") != std::string::npos) saw_load_note = true;
+  }
+  EXPECT_TRUE(saw_load_note) << report.summary();
+}
+
+TEST(CheckLoad, OverloadThresholdFlagsChannelOverload) {
+  dsn::check::ValidatorOptions options;
+  options.check_load = true;
+  options.max_normalized_load = 1e-6;  // absurdly tight: everything overloads
+  const ValidationReport report =
+      dsn::check::validate_topology(dsn::make_topology_by_name("dsn-e", 64), options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kChannelOverload)) << report.summary();
+}
+
+TEST(CheckLoad, DisabledByDefault) {
+  const ValidationReport report =
+      dsn::check::validate_topology(dsn::make_topology_by_name("dsn", 64));
+  for (const std::string& note : report.notes) {
+    EXPECT_EQ(note.find("static channel load"), std::string::npos) << note;
+  }
+}
+
+// --- routing-pair sampling ---
+
+TEST(CheckSampling, ExhaustiveBelowThreshold) {
+  const auto pairs = dsn::check::sampled_routing_pairs(6, /*exhaustive=*/10);
+  EXPECT_EQ(pairs.size(), 6u * 5u);
+}
+
+TEST(CheckSampling, SampleAlwaysContainsExtremePair) {
+  // The regression this guards: the old strided sample could miss node n-1
+  // entirely, so the worst-case pair (0, n-1) — the longest FINISH walk —
+  // was never exercised.
+  for (const NodeId n : {321u, 1000u, 4096u}) {
+    const auto pairs = dsn::check::sampled_routing_pairs(n, /*exhaustive=*/320);
+    ASSERT_LT(pairs.size(), static_cast<std::size_t>(n) * (n - 1));
+    bool extreme = false, reverse = false;
+    for (const auto& [s, t] : pairs) {
+      if (s == 0 && t == n - 1) extreme = true;
+      if (s == n - 1 && t == 0) reverse = true;
+      ASSERT_LT(s, n);
+      ASSERT_LT(t, n);
+      ASSERT_NE(s, t);
+    }
+    EXPECT_TRUE(extreme) << "n = " << n;
+    EXPECT_TRUE(reverse) << "n = " << n;
+  }
+}
+
+TEST(CheckSampling, ExtraNodesAreIncludedAndOutOfRangeIgnored) {
+  const std::vector<NodeId> extras = {7, 13, 9999};  // 9999 out of range
+  const auto pairs =
+      dsn::check::sampled_routing_pairs(1000, /*exhaustive=*/320, extras);
+  bool extra_as_src = false, extra_as_dst = false;
+  for (const auto& [s, t] : pairs) {
+    ASSERT_LT(s, 1000u);
+    ASSERT_LT(t, 1000u);
+    if (s == 7 && t == 13) extra_as_src = true;
+    if (s == 13 && t == 7) extra_as_dst = true;
+  }
+  EXPECT_TRUE(extra_as_src);
+  EXPECT_TRUE(extra_as_dst);
+}
+
+TEST(CheckSampling, PairsAreSortedAndUnique) {
+  const auto pairs = dsn::check::sampled_routing_pairs(2048, /*exhaustive=*/320);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i - 1], pairs[i]);
+  }
+  // Ring-neighbor pairs of every sampled node are present (FINISH coverage).
+  bool wrap_succ = false;
+  for (const auto& [s, t] : pairs) {
+    if (s == 2047 && t == 0) wrap_succ = true;
+  }
+  EXPECT_TRUE(wrap_succ);
+}
+
 TEST(CheckHook, InstallReturnsPreviousHook) {
   const auto before = dsn::topology_generated_hook();
   const auto previous = dsn::check::install_generation_hook();

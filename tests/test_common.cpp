@@ -10,6 +10,7 @@
 
 #include "dsn/common/cli.hpp"
 #include "dsn/common/error.hpp"
+#include "dsn/common/json.hpp"
 #include "dsn/common/math.hpp"
 #include "dsn/common/rng.hpp"
 #include "dsn/common/table.hpp"
@@ -350,6 +351,81 @@ TEST(Error, AssertThrowsInternalError) {
 TEST(Error, PassingChecksDoNotThrow) {
   EXPECT_NO_THROW(DSN_REQUIRE(true, ""));
   EXPECT_NO_THROW(DSN_ASSERT(true, ""));
+}
+
+// --------------------------------------------------------------------------
+// JSON (machine-readable dsn-lint reports).
+// --------------------------------------------------------------------------
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  // Integral doubles in the safe range print without a fraction.
+  EXPECT_EQ(Json(static_cast<std::uint64_t>(1) << 50).dump(), "1125899906842624");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string raw = "line\nbreak \"quoted\" back\\slash \t tab";
+  const Json parsed = Json::parse(Json(raw).dump());
+  EXPECT_EQ(parsed.as_string(), raw);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Replacing a member keeps its original position.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, DumpParseDumpIsAFixedPoint) {
+  Json doc = Json::object();
+  doc.set("name", "dsn-2-64");
+  doc.set("ok", true);
+  doc.set("bound", Json());
+  Json arr = Json::array();
+  for (int i = 0; i < 4; ++i) arr.push_back(i * 1.25);
+  doc.set("loads", std::move(arr));
+  Json nested = Json::object();
+  nested.set("max", 18);
+  nested.set("law", "3p + r");
+  doc.set("inner", std::move(nested));
+
+  const std::string compact = doc.dump();
+  EXPECT_EQ(Json::parse(compact).dump(), compact);
+  const std::string pretty = doc.dump(2);
+  EXPECT_EQ(Json::parse(pretty).dump(2), pretty);
+  // Pretty and compact forms parse to equal documents.
+  EXPECT_TRUE(Json::parse(pretty) == Json::parse(compact));
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), PreconditionError);
+  EXPECT_THROW(Json::parse("{"), PreconditionError);
+  EXPECT_THROW(Json::parse("[1,]"), PreconditionError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), PreconditionError);
+  EXPECT_THROW(Json::parse("\"unterminated"), PreconditionError);
+  EXPECT_THROW(Json::parse("1 trailing"), PreconditionError);
+  EXPECT_THROW(Json::parse("nul"), PreconditionError);
+}
+
+TEST(Json, AccessorsEnforceKinds) {
+  const Json doc = Json::parse("{\"a\":[1,2],\"b\":\"s\"}");
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("zz"));
+  EXPECT_EQ(doc.at("a").size(), 2u);
+  EXPECT_EQ(doc.at("a").at(1).as_int(), 2);
+  EXPECT_THROW(doc.at("zz"), PreconditionError);
+  EXPECT_THROW(doc.at("b").as_int(), PreconditionError);
+  EXPECT_THROW(doc.at("a").at(5), PreconditionError);
 }
 
 }  // namespace

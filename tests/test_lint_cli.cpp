@@ -1,0 +1,162 @@
+// End-to-end contract tests for the dsn-lint CLI: these spawn the real
+// binary (path injected by CMake as DSN_LINT_PATH) and pin down the exit-code
+// contract of the analyzer subcommands (0 = proven clean, 1 = violations,
+// 2 = usage error), the --json report schema, and the deadlock-cycle witness.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dsn/common/json.hpp"
+#include "dsn/routing/cdg.hpp"
+#include "dsn/topology/dsn.hpp"
+
+namespace dsn {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Run dsn-lint with the given arguments, capturing stdout (stderr is routed
+/// to stdout so usage errors are observable too).
+CliResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(DSN_LINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CliResult result;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) result.output.append(buf, got);
+  const int status = pclose(pipe);
+  result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Exit-code contract.
+// --------------------------------------------------------------------------
+
+TEST(LintCli, ProvenCleanExitsZero) {
+  const CliResult r = run_lint("routes --topology dsn-e --n 64 --strict");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PASS"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, RefutedPropertyExitsOne) {
+  // The basic single-class channel scheme is the paper's negative control:
+  // its CDG is cyclic, so `cdg` must fail with exit code 1 (not 2).
+  const CliResult r = run_lint("cdg --topology dsn --x 2 --n 64");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("VIOLATION cdg-cyclic"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("routes --topology no-such-topology --n 64").exit_code, 2);
+  EXPECT_EQ(run_lint("routes --topology torus --family dsn --n 64").exit_code, 2)
+      << "family/topology mismatch must be a usage error";
+  EXPECT_EQ(run_lint("load --topology dsn --n 1").exit_code, 2)
+      << "degenerate n must be a usage error, not a crash";
+}
+
+TEST(LintCli, LegacyModeContractIsUntouched) {
+  // The pre-subcommand interface still exits with the number of failing
+  // topologies, 0 when clean.
+  const CliResult r = run_lint("--topology dsn --n-list 64");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --------------------------------------------------------------------------
+// JSON reports.
+// --------------------------------------------------------------------------
+
+TEST(LintCli, JsonReportParsesAndRoundTrips) {
+  const CliResult r = run_lint("routes --topology dsn-v --n 64 --strict --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const Json doc = Json::parse(r.output);
+  EXPECT_EQ(doc.at("command").as_string(), "routes");
+  EXPECT_TRUE(doc.at("strict").as_bool());
+  EXPECT_TRUE(doc.at("violations").is_array());
+  EXPECT_EQ(doc.at("violations").size(), 0u);
+  const Json& analysis = doc.at("analysis");
+  EXPECT_TRUE(analysis.at("properties").at("loop_free").as_bool());
+  EXPECT_EQ(analysis.at("n").as_int(), 64);
+  EXPECT_EQ(analysis.at("pairs").as_int(), 64 * 63);
+  // The serializer/parser pair is a fixed point: re-dumping the parsed
+  // document reproduces it byte for byte (member order preserved).
+  EXPECT_EQ(doc.dump(), Json::parse(doc.dump()).dump());
+  EXPECT_EQ(doc.dump(2), Json::parse(doc.dump(2)).dump(2));
+}
+
+TEST(LintCli, JsonViolationListMatchesExitCode) {
+  const CliResult r = run_lint("cdg --topology dsn --x 2 --n 64 --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const Json doc = Json::parse(r.output);
+  ASSERT_GE(doc.at("violations").size(), 1u);
+  EXPECT_EQ(doc.at("violations").at(0).at("kind").as_string(), "cdg-cyclic");
+  EXPECT_FALSE(doc.at("analysis").at("cdg").at("acyclic").as_bool());
+}
+
+// --------------------------------------------------------------------------
+// Deadlock-cycle witness.
+// --------------------------------------------------------------------------
+
+TEST(LintCli, CycleWitnessNamesARealCdgCycle) {
+  // Extract the cycle the CLI reports for the basic DSN-2-64 scheme and
+  // confirm, against an independently built in-process CDG, that every
+  // consecutive pair (including the closing edge) is a recorded dependency.
+  const CliResult r = run_lint("cdg --topology dsn --x 2 --n 64 --json");
+  ASSERT_EQ(r.exit_code, 1) << r.output;
+  const Json doc = Json::parse(r.output);
+  const Json& cycle = doc.at("analysis").at("cdg").at("cycle");
+  ASSERT_GE(cycle.size(), 2u);
+
+  const ChannelDependencyGraph cdg = build_dsn_cdg(Dsn(64, 2), /*extended=*/false);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Json& a = cycle.at(i);
+    const Json& b = cycle.at((i + 1) % cycle.size());
+    const Channel ca{static_cast<NodeId>(a.at("from").as_int()),
+                     static_cast<NodeId>(a.at("to").as_int()),
+                     static_cast<std::uint8_t>(a.at("cls").as_int())};
+    const Channel cb{static_cast<NodeId>(b.at("from").as_int()),
+                     static_cast<NodeId>(b.at("to").as_int()),
+                     static_cast<std::uint8_t>(b.at("cls").as_int())};
+    EXPECT_TRUE(cdg.has_dependency(ca, cb))
+        << "cycle edge " << i << " is not a CDG dependency";
+  }
+}
+
+TEST(LintCli, HumanWitnessRendersChannelChain) {
+  const CliResult r = run_lint("cdg --topology dsn --x 2 --n 64");
+  ASSERT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("channel-cycle witness"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("closes the cycle"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("link#"), std::string::npos) << r.output;
+}
+
+// --------------------------------------------------------------------------
+// load subcommand.
+// --------------------------------------------------------------------------
+
+TEST(LintCli, LoadReportsThroughputBoundAndThreshold) {
+  const CliResult ok = run_lint("load --topology dsn-e --n 64 --json");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  const Json doc = Json::parse(ok.output);
+  const Json& load = doc.at("analysis").at("load");
+  EXPECT_GT(load.at("max").as_int(), 0);
+  EXPECT_GT(load.at("throughput_bound").as_double(), 0.0);
+  EXPECT_NEAR(load.at("throughput_bound").as_double(),
+              1.0 / load.at("max_normalized").as_double(), 1e-9);
+
+  // An absurdly low threshold turns the same clean run into a violation.
+  const CliResult over = run_lint("load --topology dsn-e --n 64 --max-normalized-load 0.001");
+  EXPECT_EQ(over.exit_code, 1) << over.output;
+  EXPECT_NE(over.output.find("channel-overload"), std::string::npos) << over.output;
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,271 @@
+// Property tests for the whole-network route analyzer (dsn::analyze):
+// the Theorem 2 / Theorem 3 proofs on well-formed DSNs, refutation witnesses
+// on injected routing defects, and the static channel-load accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/route_analysis.hpp"
+#include "dsn/routing/cdg.hpp"
+#include "dsn/routing/dsn_routing.hpp"
+#include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+
+namespace dsn {
+namespace {
+
+using analyze::ChannelScheme;
+using analyze::RouteAnalysis;
+using analyze::RouteAnalysisOptions;
+using analyze::RoutingFamily;
+
+// --------------------------------------------------------------------------
+// Proofs on well-formed networks.
+// --------------------------------------------------------------------------
+
+TEST(RouteAnalysis, BasicDsnRoutesProvenLoopFreeAndComplete) {
+  for (const std::uint32_t n : {64u, 100u, 256u}) {
+    const Dsn d(n, dsn_default_x(n));
+    const RouteAnalysis ra = analyze::analyze_dsn_routes(d, ChannelScheme::kBasic);
+    EXPECT_TRUE(ra.loop_free) << "n = " << n;
+    EXPECT_TRUE(ra.all_reachable) << "n = " << n;
+    EXPECT_TRUE(ra.routes_ok()) << "n = " << n;
+    EXPECT_EQ(ra.pairs, static_cast<std::uint64_t>(n) * (n - 1));
+    EXPECT_TRUE(ra.loop_witnesses.empty());
+    EXPECT_TRUE(ra.endpoint_witnesses.empty());
+  }
+}
+
+TEST(RouteAnalysis, HopBoundLawAppliesExactlyWhenPremiseHolds) {
+  // x = p - 1 always satisfies x > p - log p for p >= 2, so the Fact 2 /
+  // Theorem 2 bound 3p + r applies — and every route must respect it.
+  const Dsn in_premise(256, dsn_default_x(256));
+  const RouteAnalysis ra = analyze::analyze_dsn_routes(in_premise, ChannelScheme::kBasic);
+  EXPECT_EQ(ra.hop_bound, 3 * in_premise.p() + in_premise.r());
+  EXPECT_TRUE(ra.within_hop_bound);
+  EXPECT_LE(ra.max_hops, ra.hop_bound);
+  EXPECT_FALSE(ra.hop_bound_law.empty());
+
+  // x = 2 at n = 256 (p = 8, log p = 3) fails the premise: no analytic bound,
+  // the check passes vacuously, and max_hops is free to exceed 3p + r.
+  const Dsn out_of_premise(256, 2);
+  const RouteAnalysis rb = analyze::analyze_dsn_routes(out_of_premise, ChannelScheme::kBasic);
+  EXPECT_EQ(rb.hop_bound, 0u);
+  EXPECT_TRUE(rb.within_hop_bound);
+}
+
+TEST(RouteAnalysis, ExtendedSchemeProvenAcyclicBasicRefuted) {
+  // Theorem 3: the Up/Main/Finish/Extra channel classes break every cycle.
+  const Dsn d(128, dsn_default_x(128));
+  const RouteAnalysis ext = analyze::analyze_dsn_routes(d, ChannelScheme::kExtended);
+  EXPECT_TRUE(ext.cdg_acyclic);
+  EXPECT_TRUE(ext.cdg_cycle.empty());
+  EXPECT_GT(ext.cdg_channels, 0u);
+  EXPECT_GT(ext.cdg_dependencies, 0u);
+
+  // Negative control: one unprotected class on the same routes is cyclic.
+  const RouteAnalysis basic = analyze::analyze_dsn_routes(Dsn(128, 2), ChannelScheme::kBasic);
+  EXPECT_FALSE(basic.cdg_acyclic);
+  ASSERT_GE(basic.cdg_cycle.size(), 2u);
+}
+
+TEST(RouteAnalysis, CycleWitnessIsARealCdgCycle) {
+  // Every consecutive pair of the reported minimal cycle — including the
+  // closing edge — must be a dependency of the independently built CDG.
+  const Dsn d(128, 2);
+  const RouteAnalysis ra = analyze::analyze_dsn_routes(d, ChannelScheme::kBasic);
+  ASSERT_FALSE(ra.cdg_cycle.empty());
+  const ChannelDependencyGraph cdg = build_dsn_cdg(d, /*extended=*/false);
+  for (std::size_t i = 0; i < ra.cdg_cycle.size(); ++i) {
+    const Channel& a = ra.cdg_cycle[i];
+    const Channel& b = ra.cdg_cycle[(i + 1) % ra.cdg_cycle.size()];
+    EXPECT_TRUE(cdg.has_dependency(a, b))
+        << "missing dependency at cycle position " << i;
+  }
+}
+
+TEST(RouteAnalysis, DsnDRoutesProvenAndAcyclic) {
+  const DsnD dd(100, 2);
+  const RouteAnalysis ra = analyze::analyze_dsn_d_routes(dd);
+  EXPECT_TRUE(ra.routes_ok());
+  EXPECT_TRUE(ra.cdg_acyclic);
+  EXPECT_EQ(ra.family, RoutingFamily::kDsnD);
+}
+
+TEST(RouteAnalysis, TopologyEntryPointsCoverEveryFamily) {
+  const struct {
+    const char* name;
+    std::uint32_t n;
+  } cases[] = {{"dsn-e", 64}, {"dsn-bidir", 64}, {"torus", 64}, {"kleinberg", 64}};
+  for (const auto& c : cases) {
+    const Topology topo = make_topology_by_name(c.name, c.n, 7);
+    const RoutingFamily family = analyze::default_family(topo.kind);
+    const RouteAnalysis ra = analyze::analyze_topology_routes(topo, family);
+    EXPECT_TRUE(ra.loop_free) << c.name;
+    EXPECT_TRUE(ra.all_reachable) << c.name;
+    EXPECT_EQ(ra.n, c.n) << c.name;
+  }
+  // up*/down* applies to anything connected.
+  const Topology rnd = make_topology_by_name("random-regular", 48, 3);
+  const RouteAnalysis ud = analyze::analyze_topology_routes(rnd, RoutingFamily::kUpDown);
+  EXPECT_TRUE(ud.loop_free);
+  EXPECT_TRUE(ud.cdg_acyclic);  // classic up*/down* result
+}
+
+// --------------------------------------------------------------------------
+// Refutation witnesses on injected defects.
+// --------------------------------------------------------------------------
+
+Route make_route(NodeId s, NodeId t, const std::vector<NodeId>& path) {
+  Route r;
+  r.src = s;
+  r.dst = t;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    r.hops.push_back({path[i], path[i + 1], RoutePhase::kMain, HopKind::kSucc});
+  }
+  return r;
+}
+
+std::vector<Channel> one_class(const Route& r) { return dsn_route_channels_basic(r); }
+
+TEST(RouteAnalysis, LoopingRouteRefutedWithWitness) {
+  // 4-node network where the (0, 2) route bounces 0 -> 1 -> 0 -> ... -> 2.
+  const auto route_fn = [](NodeId s, NodeId t) {
+    if (s == 0 && t == 2) return make_route(s, t, {0, 1, 0, 1, 2});
+    return make_route(s, t, {s, t});
+  };
+  const RouteAnalysis ra = analyze::analyze_route_function(4, route_fn, one_class);
+  EXPECT_FALSE(ra.loop_free);
+  EXPECT_FALSE(ra.routes_ok());
+  ASSERT_FALSE(ra.loop_witnesses.empty());
+  const analyze::RouteWitness& w = ra.loop_witnesses.front();
+  EXPECT_EQ(w.src, 0u);
+  EXPECT_EQ(w.dst, 2u);
+  // The witness path must actually contain a repeated node.
+  std::vector<NodeId> sorted = w.path;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_FALSE(w.reason.empty());
+}
+
+TEST(RouteAnalysis, WrongEndpointRefutedWithWitness) {
+  const auto route_fn = [](NodeId s, NodeId t) {
+    if (s == 1 && t == 3) return make_route(s, t, {1, 2});  // stops short
+    return make_route(s, t, {s, t});
+  };
+  const RouteAnalysis ra = analyze::analyze_route_function(4, route_fn, one_class);
+  EXPECT_FALSE(ra.all_reachable);
+  ASSERT_FALSE(ra.endpoint_witnesses.empty());
+  EXPECT_EQ(ra.endpoint_witnesses.front().src, 1u);
+  EXPECT_EQ(ra.endpoint_witnesses.front().dst, 3u);
+}
+
+TEST(RouteAnalysis, HopBoundViolationRefutedOnlyUnderStrictBound) {
+  // Direct routes except (0, 3), which takes a 3-hop detour.
+  const auto route_fn = [](NodeId s, NodeId t) {
+    if (s == 0 && t == 3) return make_route(s, t, {0, 1, 2, 3});
+    return make_route(s, t, {s, t});
+  };
+  const RouteAnalysis tight =
+      analyze::analyze_route_function(4, route_fn, one_class, 2, "test bound");
+  EXPECT_FALSE(tight.within_hop_bound);
+  ASSERT_FALSE(tight.bound_witnesses.empty());
+  EXPECT_EQ(tight.bound_witnesses.front().path.size(), 4u);
+
+  const RouteAnalysis loose =
+      analyze::analyze_route_function(4, route_fn, one_class, 3, "test bound");
+  EXPECT_TRUE(loose.within_hop_bound);
+}
+
+TEST(RouteAnalysis, WitnessCountIsCapped) {
+  // Every route of this 8-node network loops once; only max_witnesses are kept.
+  const auto route_fn = [](NodeId s, NodeId t) {
+    return make_route(s, t, {s, t, s, t});
+  };
+  RouteAnalysisOptions options;
+  options.max_witnesses = 2;
+  const RouteAnalysis ra =
+      analyze::analyze_route_function(8, route_fn, one_class, 0, {}, options);
+  EXPECT_FALSE(ra.loop_free);
+  EXPECT_EQ(ra.loop_witnesses.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Static channel load.
+// --------------------------------------------------------------------------
+
+TEST(RouteAnalysis, LoadStatisticsMatchIndependentCdgUseCounts) {
+  const Dsn d(100, dsn_default_x(100));
+  const RouteAnalysis ra = analyze::analyze_dsn_routes(d, ChannelScheme::kExtended);
+  const ChannelDependencyGraph cdg = build_dsn_cdg(d, /*extended=*/true);
+
+  const auto& counts = cdg.use_counts();
+  ASSERT_EQ(ra.load.channels, counts.size());
+  const std::uint64_t total = std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  const std::uint64_t max_load = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(ra.load.total, total);
+  EXPECT_EQ(ra.load.max_load, max_load);
+  EXPECT_NEAR(ra.load.mean_load, static_cast<double>(total) / counts.size(), 1e-9);
+  EXPECT_NEAR(ra.load.max_normalized, static_cast<double>(max_load) / (d.n() - 1), 1e-12);
+  EXPECT_NEAR(ra.load.throughput_bound, 1.0 / ra.load.max_normalized, 1e-12);
+  EXPECT_GE(ra.load.gini, 0.0);
+  EXPECT_LT(ra.load.gini, 1.0);
+  // Total load over all channels is exactly the total hop count.
+  EXPECT_NEAR(ra.avg_hops, static_cast<double>(total) / ra.pairs, 1e-9);
+}
+
+TEST(RouteAnalysis, UniformRingLoadHasZeroGini) {
+  // Unidirectional ring: every route walks clockwise, so by symmetry every
+  // ring channel carries an identical load and the Gini index is exactly 0.
+  const auto route_fn = [](NodeId s, NodeId t) {
+    std::vector<NodeId> path{s};
+    for (NodeId u = s; u != t; u = (u + 1) % 16) path.push_back((u + 1) % 16);
+    return make_route(s, t, path);
+  };
+  const RouteAnalysis ra = analyze::analyze_route_function(16, route_fn, one_class);
+  EXPECT_EQ(ra.load.channels, 16u);
+  EXPECT_NEAR(ra.load.gini, 0.0, 1e-12);
+  EXPECT_EQ(ra.load.max_load, ra.load.total / 16);
+}
+
+// --------------------------------------------------------------------------
+// Determinism and rendering.
+// --------------------------------------------------------------------------
+
+TEST(RouteAnalysis, AnalysisIsDeterministicAcrossRuns) {
+  const Dsn d(128, 2);
+  const RouteAnalysis a = analyze::analyze_dsn_routes(d, ChannelScheme::kBasic);
+  const RouteAnalysis b = analyze::analyze_dsn_routes(d, ChannelScheme::kBasic);
+  EXPECT_EQ(analyze::to_json(a).dump(), analyze::to_json(b).dump());
+}
+
+TEST(RouteAnalysis, RenderedWitnessNamesNodesClassesAndLinks) {
+  const Dsn d(64, 2);
+  const RouteAnalysis ra = analyze::analyze_dsn_routes(d, ChannelScheme::kBasic);
+  ASSERT_FALSE(ra.cdg_cycle.empty());
+  const std::string text =
+      analyze::render_cycle_witness(d.topology(), ra.cdg_cycle, ChannelScheme::kBasic);
+  // Every cycle channel appears with its endpoints and a link reference.
+  for (const Channel& c : ra.cdg_cycle) {
+    const std::string arrow = std::to_string(c.from) + "->" + std::to_string(c.to);
+    EXPECT_NE(text.find(arrow), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("link#"), std::string::npos) << text;
+}
+
+TEST(RouteAnalysis, JsonReportRoundTripsAndExposesProperties) {
+  const Dsn d(64, dsn_default_x(64));
+  const RouteAnalysis ra = analyze::analyze_dsn_routes(d, ChannelScheme::kExtended);
+  const Json doc = analyze::to_json(ra);
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(doc.dump(), reparsed.dump());
+  EXPECT_TRUE(doc.at("properties").at("loop_free").as_bool());
+  EXPECT_TRUE(doc.at("properties").at("cdg_acyclic").as_bool());
+  EXPECT_EQ(doc.at("n").as_int(), 64);
+}
+
+}  // namespace
+}  // namespace dsn

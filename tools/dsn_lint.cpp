@@ -1,16 +1,30 @@
-// dsn-lint: structural invariant checker for DSN topologies.
+// dsn-lint: structural invariant checker and routing analyzer for DSN
+// topologies.
 //
-// Lints a topology built by name (any factory the analysis layer knows) or
-// loaded from an edge-list file (topology/io format), printing one line per
-// violation and a per-topology summary. Exit status is the number of
-// topologies with error-severity violations (capped at 125), so the tool
-// drops straight into CI pipelines and `ctest`.
+// Legacy (lint) mode lints a topology built by name (any factory the
+// analysis layer knows) or loaded from an edge-list file (topology/io
+// format), printing one line per violation and a per-topology summary. Exit
+// status is the number of topologies with error-severity violations (capped
+// at 125), so the tool drops straight into CI pipelines and `ctest`.
+//
+// Subcommand mode drives the whole-network route analyzer (dsn::analyze):
+//   dsn-lint routes ...   all-pairs route proofs: loop freedom, reachability,
+//                         analytic hop bounds (--strict enforces the bounds)
+//   dsn-lint cdg ...      full channel-dependency-graph acyclicity with a
+//                         minimal deadlock-cycle witness when cyclic
+//   dsn-lint load ...     static per-channel load (max/mean/Gini) and the
+//                         uniform-traffic throughput upper bound 1/max_load
+// Subcommands exit 0 when every checked property holds, 1 when a property is
+// refuted, and 2 on usage or internal errors.
 //
 // Examples:
 //   dsn-lint --topology dsn --n 100 --full
 //   dsn-lint --topology all --n-list 64,81,100,128
 //   dsn-lint --topology dsn --n-list 48,96 --x-sweep
 //   dsn-lint --file out/topology.edges --full
+//   dsn-lint routes --topology dsn --x 2 --n 512 --strict
+//   dsn-lint cdg --topology dsn-v --n 512 --json
+//   dsn-lint load --topology dsn-e --n 512
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -19,10 +33,13 @@
 #include <vector>
 
 #include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/route_analysis.hpp"
 #include "dsn/check/validator.hpp"
 #include "dsn/common/cli.hpp"
+#include "dsn/common/json.hpp"
 #include "dsn/common/math.hpp"
 #include "dsn/topology/dsn.hpp"
+#include "dsn/topology/dsn_ext.hpp"
 #include "dsn/topology/io.hpp"
 
 namespace {
@@ -45,9 +62,193 @@ void lint_one(const dsn::Topology& topo, const dsn::check::ValidatorOptions& opt
   if (!report.ok() || !quiet) std::cout << report.summary() << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Analyzer subcommands (routes / cdg / load)
+// ---------------------------------------------------------------------------
+
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+
+struct AnalysisViolation {
+  std::string kind;
+  std::string message;
+};
+
+dsn::analyze::RoutingFamily parse_family(const std::string& name) {
+  if (name == "dsn") return dsn::analyze::RoutingFamily::kDsn;
+  if (name == "dsn-d") return dsn::analyze::RoutingFamily::kDsnD;
+  if (name == "dor") return dsn::analyze::RoutingFamily::kTorusDor;
+  if (name == "greedy") return dsn::analyze::RoutingFamily::kGreedyGrid;
+  if (name == "updown") return dsn::analyze::RoutingFamily::kUpDown;
+  throw dsn::PreconditionError("unknown routing family '" + name +
+                               "' (expected dsn, dsn-d, dor, greedy or updown)");
+}
+
+/// Build the analysis target named by --topology/--n/--x and run the
+/// analyzer. "dsn" is the basic DSN with the single unprotected channel
+/// class; "dsn-v" is the same topology with the extended classes realized as
+/// virtual channels; "dsn-e" carries them on physical Up/Extra links.
+dsn::analyze::RouteAnalysis run_analysis(const dsn::Cli& cli, dsn::Topology& topo) {
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
+  auto x = static_cast<std::uint32_t>(cli.get_uint("x"));
+  const std::string tname = cli.get("topology");
+
+  if (tname == "dsn" || tname == "dsn-v") {
+    if (x == 0) x = dsn::dsn_default_x(n);
+    const dsn::Dsn d(n, x);
+    topo = d.topology();
+    const auto scheme = tname == "dsn-v" ? dsn::analyze::ChannelScheme::kExtended
+                                         : dsn::analyze::ChannelScheme::kBasic;
+    dsn::analyze::RouteAnalysis ra = dsn::analyze::analyze_dsn_routes(d, scheme);
+    if (tname == "dsn-v") ra.topology = "dsn-v-" + std::to_string(n);
+    return ra;
+  }
+  if (tname == "dsn-e") {
+    const dsn::DsnE e(n);
+    topo = e.topology();
+    return dsn::analyze::analyze_topology_routes(topo,
+                                                 dsn::analyze::RoutingFamily::kDsn);
+  }
+  if (tname == "dsn-d") {
+    const dsn::DsnD dd(n, x == 0 ? 2 : x);
+    topo = dd.topology();
+    return dsn::analyze::analyze_dsn_d_routes(dd);
+  }
+  topo = dsn::make_topology_by_name(tname, n, cli.get_uint("seed"));
+  const dsn::analyze::RoutingFamily family =
+      cli.get("family").empty() ? dsn::analyze::default_family(topo.kind)
+                                : parse_family(cli.get("family"));
+  return dsn::analyze::analyze_topology_routes(topo, family);
+}
+
+void collect_route_violations(const dsn::analyze::RouteAnalysis& ra, bool strict,
+                              std::vector<AnalysisViolation>& out) {
+  const auto witness_line = [](const dsn::analyze::RouteWitness& w) {
+    return "route (" + std::to_string(w.src) + ", " + std::to_string(w.dst) +
+           "): " + w.reason;
+  };
+  for (const auto& w : ra.loop_witnesses) out.push_back({"route-loop", witness_line(w)});
+  for (const auto& w : ra.endpoint_witnesses)
+    out.push_back({"route-wrong-endpoint", witness_line(w)});
+  if (strict) {
+    for (const auto& w : ra.bound_witnesses)
+      out.push_back({"route-bound-exceeded",
+                     witness_line(w) + " (" + ra.hop_bound_law + ")"});
+    if (ra.fallback_routes > 0)
+      out.push_back({"route-fallback", std::to_string(ra.fallback_routes) +
+                                           " routes hit the defensive fallback"});
+  }
+}
+
+int run_analysis_command(const std::string& cmd, int argc, const char* const* argv) {
+  dsn::Cli cli("dsn-lint " + cmd +
+               ": whole-network route analysis (exit 0 = proven clean, 1 = a "
+               "property was refuted, 2 = usage/internal error)");
+  cli.add_flag("topology", "dsn",
+               "analysis target: dsn (basic, single channel class), dsn-v "
+               "(extended classes as virtual channels), dsn-e, dsn-d, or any "
+               "factory name (ring, torus, torus3d, dln, random, kleinberg, "
+               "random-regular, dsn-bidir)");
+  cli.add_flag("n", "512", "node count");
+  cli.add_flag("x", "0",
+               "DSN shortcut-set size (0 = paper default p-1); for dsn-d the "
+               "express links per super node (0 = 2)");
+  cli.add_flag("family", "",
+               "routing family override for factory topologies (dsn, dsn-d, "
+               "dor, greedy, updown)");
+  cli.add_flag("seed", "1", "seed for the randomized generators");
+  cli.add_flag("max-normalized-load", "0",
+               "load: fail when max_load/(n-1) exceeds this (0 = report only)");
+  cli.add_flag("json", "false", "emit a machine-readable JSON report");
+  cli.add_flag("strict", "false",
+               "routes: also enforce analytic hop bounds and zero fallbacks");
+
+  if (!cli.parse(argc, argv)) return kExitClean;
+
+  dsn::Topology topo;
+  const dsn::analyze::RouteAnalysis ra = run_analysis(cli, topo);
+  const bool strict = cli.get_bool("strict");
+
+  std::vector<AnalysisViolation> violations;
+  if (cmd == "routes") {
+    collect_route_violations(ra, strict, violations);
+  } else if (cmd == "cdg") {
+    if (!ra.cdg_acyclic) {
+      violations.push_back(
+          {"cdg-cyclic",
+           "channel dependency graph has a directed cycle\n" +
+               dsn::analyze::render_cycle_witness(topo, ra.cdg_cycle, ra.scheme)});
+    }
+  } else {  // load
+    const double limit = cli.get_double("max-normalized-load");
+    if (limit > 0.0 && ra.load.max_normalized > limit) {
+      violations.push_back(
+          {"channel-overload",
+           "channel " + dsn::analyze::render_channel(topo, ra.load.max_channel,
+                                                     ra.scheme) +
+               " carries normalized load " + std::to_string(ra.load.max_normalized) +
+               " > limit " + std::to_string(limit)});
+    }
+  }
+
+  if (cli.get_bool("json")) {
+    dsn::Json doc = dsn::Json::object();
+    doc.set("command", cmd);
+    doc.set("strict", strict);
+    doc.set("analysis", dsn::analyze::to_json(ra));
+    dsn::Json vs = dsn::Json::array();
+    for (const AnalysisViolation& v : violations) {
+      dsn::Json jv = dsn::Json::object();
+      jv.set("kind", v.kind);
+      jv.set("message", v.message);
+      vs.push_back(std::move(jv));
+    }
+    doc.set("violations", std::move(vs));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    if (cmd == "cdg") {
+      std::cout << "cdg " << ra.topology << " [scheme=" << to_string(ra.scheme)
+                << "]: " << ra.cdg_channels << " channels, " << ra.cdg_dependencies
+                << " dependencies: "
+                << (ra.cdg_acyclic ? "ACYCLIC (deadlock-free)" : "CYCLIC") << "\n";
+    } else if (cmd == "load") {
+      std::cout << "load " << ra.topology << " [" << ra.pairs << " pairs over "
+                << ra.load.channels << " channels]\n"
+                << "  max " << ra.load.max_load << " ("
+                << dsn::analyze::render_channel(topo, ra.load.max_channel, ra.scheme)
+                << ")\n"
+                << "  mean " << ra.load.mean_load << ", gini " << ra.load.gini << "\n"
+                << "  normalized max " << ra.load.max_normalized
+                << " -> throughput bound " << ra.load.throughput_bound << "\n";
+    } else {
+      std::cout << dsn::analyze::summary(ra) << "\n";
+    }
+    for (const AnalysisViolation& v : violations)
+      std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
+    std::cout << "dsn-lint " << cmd << ": "
+              << (violations.empty() ? "PASS" : "FAIL") << " (" << violations.size()
+              << " violations)\n";
+  }
+  return violations.empty() ? kExitClean : kExitViolations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "routes" || cmd == "cdg" || cmd == "load") {
+      try {
+        // Shift argv so the subcommand name acts as the program name.
+        return run_analysis_command(cmd, argc - 1, argv + 1);
+      } catch (const std::exception& e) {
+        std::cerr << "dsn-lint " << cmd << ": " << e.what() << "\n";
+        return kExitUsage;
+      }
+    }
+  }
+
   dsn::Cli cli(
       "dsn-lint: run the dsn::check invariant battery over topologies and "
       "report violations");
