@@ -366,10 +366,11 @@ RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family
       DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1] &&
                       static_cast<std::uint64_t>(topo.dims[0]) * topo.dims[1] == n,
                   "family 'greedy' needs a square grid topology");
+      const CsrView csr(topo.graph);  // one snapshot for all n*(n-1) walks
       RouteAnalysis ra = analyze_route_function(
           n,
           [&](NodeId s, NodeId t) {
-            return path_to_route(s, t, route_greedy_grid(topo, s, t));
+            return path_to_route(s, t, route_greedy_grid(csr, topo.dims[0], s, t));
           },
           &single_class_channels, 0,
           "no analytic per-pair bound (greedy is O(log^2 n) in expectation)",

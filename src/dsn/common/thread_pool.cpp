@@ -32,6 +32,20 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const std::size_t count = tasks.size();
+  {
+    std::unique_lock lock(mutex_);
+    for (auto& task : tasks) tasks_.push(std::move(task));
+  }
+  if (count == 1) {
+    cv_task_.notify_one();
+  } else {
+    cv_task_.notify_all();
+  }
+}
+
 namespace {
 
 /// Pool the current thread is a worker of, or nullptr. Lets parallel_for run
@@ -91,13 +105,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::mutex error_mutex;
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::size_t submitted = 0;
 
+  std::vector<std::function<void()>> batch;
+  batch.reserve((total + chunk_size - 1) / chunk_size);
   for (std::size_t c = 0; c * chunk_size < total; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    ++submitted;
-    submit([&, lo, hi] {
+    batch.push_back([&, lo, hi] {
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
@@ -113,6 +127,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       done_cv.notify_one();
     });
   }
+  const std::size_t submitted = batch.size();
+  submit_batch(std::move(batch));
 
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return done == submitted; });

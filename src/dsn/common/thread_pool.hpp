@@ -28,6 +28,12 @@ class ThreadPool {
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
 
+  /// Enqueue a batch of tasks under one lock acquisition and a single wakeup
+  /// broadcast. parallel_for uses this to push all its chunks at once instead
+  /// of paying a lock/notify round-trip per chunk — the difference shows for
+  /// fine-grained kernels issuing many small parallel loops.
+  void submit_batch(std::vector<std::function<void()>> tasks);
+
   /// Block until all submitted tasks have completed. Must not be called from
   /// one of this pool's own workers (throws PreconditionError: it would wait
   /// for the calling task to finish).

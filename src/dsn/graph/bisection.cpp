@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "dsn/common/rng.hpp"
+#include "dsn/graph/csr.hpp"
 
 namespace dsn {
 
@@ -20,11 +21,12 @@ std::uint64_t count_cut_links(const Graph& g, const std::vector<std::uint8_t>& s
 
 namespace {
 
-/// External minus internal degree of node u under the partition.
-std::int64_t gain_of(const Graph& g, const std::vector<std::uint8_t>& side, NodeId u) {
+/// External minus internal degree of node u under the partition. Walks the
+/// CSR snapshot: gain recomputation is the inner loop of every KL pass.
+std::int64_t gain_of(const CsrView& csr, const std::vector<std::uint8_t>& side, NodeId u) {
   std::int64_t gain = 0;
-  for (const AdjHalf& h : g.neighbors(u)) {
-    gain += side[h.to] != side[u] ? 1 : -1;
+  for (const NodeId v : csr.neighbors(u)) {
+    gain += side[v] != side[u] ? 1 : -1;
   }
   return gain;
 }
@@ -35,6 +37,7 @@ BisectionResult kernighan_lin_refine(const Graph& g, std::vector<std::uint8_t> s
                                      int max_passes) {
   const NodeId n = g.num_nodes();
   DSN_REQUIRE(side.size() == n, "partition size mismatch");
+  const CsrView csr(g);  // one snapshot serves every pass
 
   for (int pass = 0; pass < max_passes; ++pass) {
     // One KL pass: greedily swap the best unlocked pair; track the prefix of
@@ -45,7 +48,7 @@ BisectionResult kernighan_lin_refine(const Graph& g, std::vector<std::uint8_t> s
     std::int64_t running = 0;
 
     std::vector<std::int64_t> gain(n);
-    for (NodeId u = 0; u < n; ++u) gain[u] = gain_of(g, side, u);
+    for (NodeId u = 0; u < n; ++u) gain[u] = gain_of(csr, side, u);
 
     const std::size_t max_swaps = n / 2;
     for (std::size_t s = 0; s < max_swaps; ++s) {
@@ -62,8 +65,8 @@ BisectionResult kernighan_lin_refine(const Graph& g, std::vector<std::uint8_t> s
       if (best_a == kInvalidNode || best_b == kInvalidNode) break;
       // Swap gain = g(a) + g(b) - 2 * w(a, b).
       std::int64_t w_ab = 0;
-      for (const AdjHalf& h : g.neighbors(best_a)) {
-        if (h.to == best_b) ++w_ab;
+      for (const NodeId v : csr.neighbors(best_a)) {
+        if (v == best_b) ++w_ab;
       }
       const std::int64_t swap_gain = gain[best_a] + gain[best_b] - 2 * w_ab;
 
@@ -78,8 +81,8 @@ BisectionResult kernighan_lin_refine(const Graph& g, std::vector<std::uint8_t> s
       // Update gains of unlocked neighbors (and the swapped pair, which is
       // locked anyway).
       for (const NodeId moved : {best_a, best_b}) {
-        for (const AdjHalf& h : g.neighbors(moved)) {
-          if (!locked[h.to]) gain[h.to] = gain_of(g, side, h.to);
+        for (const NodeId v : csr.neighbors(moved)) {
+          if (!locked[v]) gain[v] = gain_of(csr, side, v);
         }
       }
     }

@@ -1,0 +1,38 @@
+#include "dsn/graph/csr.hpp"
+
+#include <algorithm>
+
+namespace dsn {
+
+CsrView::CsrView(const Graph& g) : num_nodes_(g.num_nodes()), num_arcs_(2 * g.num_links()) {
+  offsets_.resize(static_cast<std::size_t>(num_nodes_) + 1);
+  buf_.resize(2 * num_arcs_);
+  std::size_t at = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    offsets_[u] = at;
+    for (const AdjHalf& h : g.neighbors(u)) {
+      buf_[at] = h.to;
+      buf_[num_arcs_ + at] = h.link;
+      ++at;
+    }
+  }
+  offsets_[num_nodes_] = at;
+  DSN_ASSERT(at == num_arcs_, "adjacency halves must cover every arc");
+}
+
+void CsrView::build_sorted_neighbors() {
+  if (!sorted_offsets_.empty()) return;  // already built
+  sorted_offsets_.resize(static_cast<std::size_t>(num_nodes_) + 1);
+  sorted_.reserve(num_arcs_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    sorted_offsets_[u] = sorted_.size();
+    const auto nbrs = neighbors(u);
+    sorted_.insert(sorted_.end(), nbrs.begin(), nbrs.end());
+    const auto begin = sorted_.begin() + static_cast<std::ptrdiff_t>(sorted_offsets_[u]);
+    std::sort(begin, sorted_.end());
+    sorted_.erase(std::unique(begin, sorted_.end()), sorted_.end());
+  }
+  sorted_offsets_[num_nodes_] = sorted_.size();
+}
+
+}  // namespace dsn

@@ -1,10 +1,11 @@
 #include "dsn/graph/metrics.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <bit>
+#include <numeric>
 
 #include "dsn/common/thread_pool.hpp"
+#include "dsn/graph/msbfs.hpp"
 
 namespace dsn {
 
@@ -57,67 +58,143 @@ BfsTree bfs_tree(const Graph& g, NodeId src) {
   return t;
 }
 
+namespace {
+
+/// Shard layout for the all-pairs sweeps: contiguous ranges of 64-source
+/// MS-BFS batches, a few per worker so chunks stay balanced without a
+/// hot-path mutex — every shard owns its accumulator and the merge happens
+/// once, serially, in shard order (deterministic regardless of thread count).
+struct BatchPlan {
+  std::size_t batches = 0;
+  std::size_t shards = 0;
+};
+
+BatchPlan plan_batches(NodeId n, std::size_t workers) {
+  BatchPlan p;
+  p.batches = (static_cast<std::size_t>(n) + kMsBfsBatch - 1) / kMsBfsBatch;
+  p.shards = std::max<std::size_t>(1, std::min(p.batches, 4 * workers));
+  return p;
+}
+
+/// Sources [b * 64, min(n, b * 64 + 64)) of batch b.
+std::pair<NodeId, NodeId> batch_span(std::size_t b, NodeId n) {
+  const auto lo = static_cast<NodeId>(b * kMsBfsBatch);
+  const auto hi = static_cast<NodeId>(
+      std::min<std::size_t>(n, b * kMsBfsBatch + kMsBfsBatch));
+  return {lo, hi};
+}
+
+}  // namespace
+
 PathStats compute_path_stats(const Graph& g) {
+  const CsrView csr(g);
+  return compute_path_stats(csr);
+}
+
+PathStats compute_path_stats(const CsrView& csr) {
   PathStats stats;
-  const NodeId n = g.num_nodes();
+  const NodeId n = csr.num_nodes();
   if (n == 0) return stats;
 
-  std::mutex merge_mutex;
-  std::atomic<bool> all_reachable{true};
-  std::uint32_t diameter = 0;
-  __uint128_t total_hops = 0;
-  std::uint64_t reachable_pairs = 0;
-  std::vector<std::uint64_t> histogram;
+  ThreadPool& pool = ThreadPool::global();
+  const BatchPlan plan = plan_batches(n, pool.size());
+  // Per-shard hop histograms; every other statistic folds out of them.
+  std::vector<std::vector<std::uint64_t>> hists(plan.shards);
 
-  parallel_for(0, n, [&](std::size_t src) {
-    const auto dist = bfs_distances(g, static_cast<NodeId>(src));
-    std::uint32_t local_max = 0;
-    std::uint64_t local_sum = 0;
-    std::uint64_t local_pairs = 0;
-    std::vector<std::uint64_t> local_hist;
-    for (NodeId v = 0; v < n; ++v) {
-      if (v == src) continue;
-      if (dist[v] == kUnreachable) {
-        all_reachable.store(false, std::memory_order_relaxed);
-        continue;
-      }
-      local_max = std::max(local_max, dist[v]);
-      local_sum += dist[v];
-      ++local_pairs;
-      if (dist[v] >= local_hist.size()) local_hist.resize(dist[v] + 1, 0);
-      ++local_hist[dist[v]];
+  pool.parallel_for(0, plan.shards, [&](std::size_t k) {
+    MsBfsScratch scratch;
+    std::vector<NodeId> sources;
+    std::vector<std::uint64_t>& hist = hists[k];
+    const std::size_t begin = k * plan.batches / plan.shards;
+    const std::size_t end = (k + 1) * plan.batches / plan.shards;
+    for (std::size_t b = begin; b < end; ++b) {
+      const auto [lo, hi] = batch_span(b, n);
+      sources.resize(hi - lo);
+      std::iota(sources.begin(), sources.end(), lo);
+      msbfs_sweep(csr, sources, scratch,
+                  [&hist](NodeId, std::uint32_t level, std::uint64_t fresh) {
+                    if (level >= hist.size()) hist.resize(level + 1, 0);
+                    hist[level] += static_cast<std::uint64_t>(std::popcount(fresh));
+                  });
     }
-    std::scoped_lock lock(merge_mutex);
-    diameter = std::max(diameter, local_max);
-    total_hops += local_sum;
-    reachable_pairs += local_pairs;
-    if (local_hist.size() > histogram.size()) histogram.resize(local_hist.size(), 0);
-    for (std::size_t h = 0; h < local_hist.size(); ++h) histogram[h] += local_hist[h];
   });
 
-  stats.connected = n <= 1 || all_reachable.load();
-  stats.diameter = diameter;
+  std::vector<std::uint64_t> hist;
+  for (const auto& h : hists) {
+    if (h.size() > hist.size()) hist.resize(h.size(), 0);
+    for (std::size_t i = 0; i < h.size(); ++i) hist[i] += h[i];
+  }
+  __uint128_t total_hops = 0;
+  std::uint64_t reachable_pairs = 0;
+  for (std::size_t h = 0; h < hist.size(); ++h) {
+    reachable_pairs += hist[h];
+    total_hops += static_cast<__uint128_t>(h) * hist[h];
+  }
+  stats.connected =
+      n <= 1 || reachable_pairs == static_cast<std::uint64_t>(n) * (n - 1);
+  stats.diameter = hist.empty() ? 0 : static_cast<std::uint32_t>(hist.size() - 1);
   stats.avg_shortest_path =
       reachable_pairs == 0 ? 0.0
                            : static_cast<double>(total_hops) / static_cast<double>(reachable_pairs);
-  stats.hop_histogram = std::move(histogram);
+  stats.hop_histogram = std::move(hist);
   return stats;
 }
 
 std::vector<std::uint32_t> eccentricities(const Graph& g) {
-  const NodeId n = g.num_nodes();
+  const CsrView csr(g);
+  return eccentricities(csr);
+}
+
+std::vector<std::uint32_t> eccentricities(const CsrView& csr) {
+  const NodeId n = csr.num_nodes();
   std::vector<std::uint32_t> ecc(n, 0);
-  parallel_for(0, n, [&](std::size_t src) {
-    const auto dist = bfs_distances(g, static_cast<NodeId>(src));
-    std::uint32_t m = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (dist[v] == kUnreachable) {
-        m = kUnreachable;
-        break;
+  if (n == 0) return ecc;
+
+  ThreadPool& pool = ThreadPool::global();
+  const BatchPlan plan = plan_batches(n, pool.size());
+
+  // Shards own disjoint source ranges, so they write disjoint ecc entries.
+  pool.parallel_for(0, plan.shards, [&](std::size_t k) {
+    MsBfsScratch scratch;
+    std::vector<NodeId> sources;
+    const std::size_t begin = k * plan.batches / plan.shards;
+    const std::size_t end = (k + 1) * plan.batches / plan.shards;
+    for (std::size_t b = begin; b < end; ++b) {
+      const auto [lo, hi] = batch_span(b, n);
+      sources.resize(hi - lo);
+      std::iota(sources.begin(), sources.end(), lo);
+
+      // A lane's eccentricity is the last level at which it discovered any
+      // node; fold the per-level union of fresh bits instead of per-pair work.
+      std::uint32_t cur_level = 0;
+      std::uint64_t pending = 0;
+      const auto flush = [&] {
+        while (pending != 0) {
+          ecc[lo + static_cast<NodeId>(std::countr_zero(pending))] = cur_level;
+          pending &= pending - 1;
+        }
+      };
+      msbfs_sweep(csr, sources, scratch,
+                  [&](NodeId, std::uint32_t level, std::uint64_t fresh) {
+                    if (level != cur_level) {
+                      flush();
+                      cur_level = level;
+                    }
+                    pending |= fresh;
+                  });
+      flush();
+
+      // Lanes that missed any node are unreachable-eccentric.
+      const std::size_t lanes = hi - lo;
+      const std::uint64_t full =
+          lanes == kMsBfsBatch ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+      std::uint64_t missing = 0;
+      for (NodeId v = 0; v < n; ++v) missing |= full & ~scratch.seen[v];
+      while (missing != 0) {
+        ecc[lo + static_cast<NodeId>(std::countr_zero(missing))] = kUnreachable;
+        missing &= missing - 1;
       }
-      m = std::max(m, dist[v]);
     }
-    ecc[src] = m;
   });
   return ecc;
 }
@@ -140,32 +217,83 @@ DegreeStats compute_degree_stats(const Graph& g) {
 
 bool is_connected(const Graph& g) {
   if (g.num_nodes() <= 1) return true;
-  const auto dist = bfs_distances(g, 0);
+  const CsrView csr(g);
+  return is_connected(csr);
+}
+
+bool is_connected(const CsrView& csr) {
+  if (csr.num_nodes() <= 1) return true;
+  const auto dist = csr_bfs_distances(csr, 0);
   return std::none_of(dist.begin(), dist.end(),
                       [](std::uint32_t d) { return d == kUnreachable; });
 }
 
+namespace {
+
+std::uint64_t sorted_intersection_size(std::span<const NodeId> a,
+                                       std::span<const NodeId> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
 double clustering_coefficient(const Graph& g) {
-  const NodeId n = g.num_nodes();
+  CsrView csr(g);
+  return clustering_coefficient(csr);
+}
+
+double clustering_coefficient(CsrView& csr) {
+  const NodeId n = csr.num_nodes();
+  if (n == 0) return 0.0;
+  csr.build_sorted_neighbors();
+
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min<std::size_t>(n, 4 * pool.size()));
+  struct Partial {
+    double sum = 0.0;
+    std::uint64_t counted = 0;
+  };
+  std::vector<Partial> partials(shards);
+
+  pool.parallel_for(0, shards, [&](std::size_t k) {
+    Partial& part = partials[k];
+    const auto begin = static_cast<NodeId>(k * n / shards);
+    const auto end = static_cast<NodeId>((k + 1) * n / shards);
+    for (NodeId u = begin; u < end; ++u) {
+      const auto nbrs = csr.sorted_neighbors(u);
+      if (nbrs.size() < 2) continue;
+      // Each closed neighbor pair {a, b} is counted twice: once through a's
+      // neighbor set and once through b's (u itself is in neither side's
+      // intersection because self loops are rejected).
+      std::uint64_t closed_twice = 0;
+      for (const NodeId v : nbrs) {
+        closed_twice += sorted_intersection_size(nbrs, csr.sorted_neighbors(v));
+      }
+      const std::uint64_t pairs = nbrs.size() * (nbrs.size() - 1) / 2;
+      part.sum += static_cast<double>(closed_twice / 2) / static_cast<double>(pairs);
+      ++part.counted;
+    }
+  });
+
   double sum = 0.0;
   std::uint64_t counted = 0;
-  std::vector<NodeId> nbrs;
-  for (NodeId u = 0; u < n; ++u) {
-    nbrs.clear();
-    for (const AdjHalf& h : g.neighbors(u)) {
-      // Parallel links collapse for clustering purposes.
-      if (std::find(nbrs.begin(), nbrs.end(), h.to) == nbrs.end()) nbrs.push_back(h.to);
-    }
-    if (nbrs.size() < 2) continue;
-    std::uint64_t closed = 0;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-        if (g.has_link(nbrs[i], nbrs[j])) ++closed;
-      }
-    }
-    const auto pairs = nbrs.size() * (nbrs.size() - 1) / 2;
-    sum += static_cast<double>(closed) / static_cast<double>(pairs);
-    ++counted;
+  for (const Partial& p : partials) {
+    sum += p.sum;
+    counted += p.counted;
   }
   return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
 }

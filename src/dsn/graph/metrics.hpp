@@ -1,11 +1,18 @@
 // Hop-count graph metrics: BFS, all-pairs shortest path statistics, degree
 // statistics. These drive the Figure 7/8 reproductions and the topology
 // property tests.
+//
+// The all-pairs kernels (compute_path_stats, eccentricities, is_connected,
+// clustering_coefficient) run on a CsrView snapshot driven by the 64-way
+// bit-parallel MS-BFS (see msbfs.hpp); the Graph overloads build the snapshot
+// internally. Callers holding several kernels' worth of work over the same
+// graph should build one CsrView and use the CsrView overloads directly.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "dsn/graph/csr.hpp"
 #include "dsn/graph/graph.hpp"
 
 namespace dsn {
@@ -28,12 +35,15 @@ struct PathStats {
   std::vector<std::uint64_t> hop_histogram;  ///< index = hop count, value = #ordered pairs
 };
 
-/// Compute PathStats with one BFS per source, parallelized over sources.
+/// Compute PathStats with bit-parallel multi-source BFS, 64 sources per
+/// sweep, parallelized over sweeps with per-shard accumulators.
 PathStats compute_path_stats(const Graph& g);
+PathStats compute_path_stats(const CsrView& csr);
 
 /// Eccentricity (max BFS distance) of every node; kUnreachable if the node
 /// cannot reach some other node.
 std::vector<std::uint32_t> eccentricities(const Graph& g);
+std::vector<std::uint32_t> eccentricities(const CsrView& csr);
 
 /// Degree distribution summary.
 struct DegreeStats {
@@ -46,11 +56,16 @@ DegreeStats compute_degree_stats(const Graph& g);
 
 /// True iff every node can reach every other node.
 bool is_connected(const Graph& g);
+bool is_connected(const CsrView& csr);
 
 /// Average local clustering coefficient (Watts-Strogatz): for each node with
 /// degree >= 2, the fraction of neighbor pairs that are themselves linked,
 /// averaged over all such nodes. The classic "small-world" signature is high
-/// clustering together with low average shortest path length.
+/// clustering together with low average shortest path length. The CsrView
+/// overload builds the snapshot's sorted neighbor sets on demand (hence the
+/// non-const reference); pairs are counted by sorted-set intersection,
+/// parallelized over nodes.
 double clustering_coefficient(const Graph& g);
+double clustering_coefficient(CsrView& csr);
 
 }  // namespace dsn

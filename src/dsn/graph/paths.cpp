@@ -101,45 +101,59 @@ std::vector<std::vector<NodeId>> yen_k_shortest_paths(const Graph& g, NodeId s,
   return result;
 }
 
-std::uint32_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
-  DSN_REQUIRE(s < g.num_nodes() && t < g.num_nodes(), "node id out of range");
-  DSN_REQUIRE(s != t, "edge connectivity needs distinct endpoints");
+namespace {
+
+/// Reusable working set for the unit-capacity Edmonds-Karp runs: one residual
+/// array plus BFS buffers, reset (not reallocated) per (s, t) pair so the
+/// all-targets sweep of edge_connectivity stops churning the allocator.
+struct FlowScratch {
+  std::vector<std::uint8_t> capacity;    // residual[2*link + dir]
+  std::vector<std::uint32_t> parent_arc;
+  std::vector<std::uint8_t> seen;
+  std::vector<NodeId> queue;
+};
+
+/// Max edge-disjoint s-t paths, stopping early once `cap` paths are found.
+/// A capped run answers "is the flow >= cap" exactly and min(cap, flow)
+/// otherwise — all edge_connectivity needs, since values above its running
+/// minimum cannot change the result.
+std::uint32_t edge_disjoint_paths_capped(const Graph& g, NodeId s, NodeId t,
+                                         std::uint32_t cap, FlowScratch& scratch) {
   // Edmonds-Karp with unit capacities: each undirected link becomes a pair
   // of directed arcs with capacity 1 each; residual flips used arcs.
-  // residual[2*link + dir] = remaining capacity of the dir half.
-  std::vector<std::uint8_t> capacity(g.num_links() * 2, 1);
+  scratch.capacity.assign(g.num_links() * 2, 1);
   std::uint32_t flow = 0;
 
-  for (;;) {
+  while (flow < cap) {
     // BFS for an augmenting path over arcs with residual capacity.
-    std::vector<std::uint32_t> parent_arc(g.num_nodes(), kInvalidNode);
-    std::vector<std::uint8_t> seen(g.num_nodes(), 0);
-    std::deque<NodeId> queue{s};
-    seen[s] = 1;
+    scratch.parent_arc.assign(g.num_nodes(), kInvalidNode);
+    scratch.seen.assign(g.num_nodes(), 0);
+    scratch.queue.clear();
+    scratch.queue.push_back(s);
+    scratch.seen[s] = 1;
     bool found = false;
-    while (!queue.empty() && !found) {
-      const NodeId u = queue.front();
-      queue.pop_front();
+    for (std::size_t head = 0; head < scratch.queue.size() && !found; ++head) {
+      const NodeId u = scratch.queue[head];
       for (const AdjHalf& h : g.neighbors(u)) {
         const auto [a, b] = g.link_endpoints(h.link);
         const std::uint32_t arc = 2 * h.link + (u == a ? 0u : 1u);
-        if (!capacity[arc] || seen[h.to]) continue;
-        seen[h.to] = 1;
-        parent_arc[h.to] = arc;
+        if (!scratch.capacity[arc] || scratch.seen[h.to]) continue;
+        scratch.seen[h.to] = 1;
+        scratch.parent_arc[h.to] = arc;
         if (h.to == t) {
           found = true;
           break;
         }
-        queue.push_back(h.to);
+        scratch.queue.push_back(h.to);
       }
     }
     if (!found) break;
     // Augment along the path.
     NodeId v = t;
     while (v != s) {
-      const std::uint32_t arc = parent_arc[v];
-      capacity[arc] = 0;
-      capacity[arc ^ 1u] = 1;  // residual in the opposite direction
+      const std::uint32_t arc = scratch.parent_arc[v];
+      scratch.capacity[arc] = 0;
+      scratch.capacity[arc ^ 1u] = 1;  // residual in the opposite direction
       const auto [a, b] = g.link_endpoints(static_cast<LinkId>(arc / 2));
       v = (arc % 2 == 0) ? a : b;
     }
@@ -148,14 +162,29 @@ std::uint32_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
   return flow;
 }
 
+}  // namespace
+
+std::uint32_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
+  DSN_REQUIRE(s < g.num_nodes() && t < g.num_nodes(), "node id out of range");
+  DSN_REQUIRE(s != t, "edge connectivity needs distinct endpoints");
+  FlowScratch scratch;
+  return edge_disjoint_paths_capped(g, s, t, kUnreachable, scratch);
+}
+
 std::uint32_t edge_connectivity(const Graph& g) {
   const NodeId n = g.num_nodes();
   DSN_REQUIRE(n >= 2, "edge connectivity needs >= 2 nodes");
   if (!is_connected(g)) return 0;
-  std::uint32_t best = kUnreachable;
-  for (NodeId t = 1; t < n; ++t) {
-    best = std::min(best, edge_disjoint_paths(g, 0, t));
-    if (best == 0) break;
+  // Edge connectivity never exceeds the minimum degree, so start the running
+  // minimum there: every per-target flow is capped at the current best, which
+  // lets targets matching the trivial bound stop right at it instead of
+  // running the flow to completion plus a final failed augmenting search.
+  std::size_t min_degree = g.degree(0);
+  for (NodeId u = 1; u < n; ++u) min_degree = std::min(min_degree, g.degree(u));
+  auto best = static_cast<std::uint32_t>(min_degree);
+  FlowScratch scratch;
+  for (NodeId t = 1; t < n && best > 0; ++t) {
+    best = std::min(best, edge_disjoint_paths_capped(g, 0, t, best, scratch));
   }
   return best;
 }

@@ -21,8 +21,13 @@ std::int64_t lattice_distance(NodeId a, NodeId b, std::uint32_t side) {
 std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t) {
   DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1],
               "greedy routing needs a square grid topology");
-  DSN_REQUIRE(s < topo.num_nodes() && t < topo.num_nodes(), "node id out of range");
-  const std::uint32_t side = topo.dims[0];
+  const CsrView csr(topo.graph);
+  return route_greedy_grid(csr, topo.dims[0], s, t);
+}
+
+std::vector<NodeId> route_greedy_grid(const CsrView& csr, std::uint32_t side, NodeId s,
+                                      NodeId t) {
+  DSN_REQUIRE(s < csr.num_nodes() && t < csr.num_nodes(), "node id out of range");
 
   std::vector<NodeId> path{s};
   NodeId u = s;
@@ -30,13 +35,13 @@ std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t) 
   while (u != t) {
     NodeId best = kInvalidNode;
     std::int64_t best_dist = lattice_distance(u, t, side);
-    for (const AdjHalf& h : topo.graph.neighbors(u)) {
-      const std::int64_t d = lattice_distance(h.to, t, side);
-      if (d < best_dist || (d == best_dist && best != kInvalidNode && h.to < best)) {
+    for (const NodeId v : csr.neighbors(u)) {
+      const std::int64_t d = lattice_distance(v, t, side);
+      if (d < best_dist || (d == best_dist && best != kInvalidNode && v < best)) {
         // Strictly-closer neighbors only: the grid links guarantee one
         // always exists, which is what makes greedy routing well defined.
         if (d < lattice_distance(u, t, side)) {
-          best = h.to;
+          best = v;
           best_dist = d;
         }
       }
@@ -50,7 +55,11 @@ std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t) 
 }
 
 RoutingScan scan_greedy_grid(const Topology& topo) {
+  DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1],
+              "greedy routing needs a square grid topology");
   const NodeId n = topo.num_nodes();
+  const std::uint32_t side = topo.dims[0];
+  const CsrView csr(topo.graph);
   RoutingScan scan;
   std::mutex merge;
   std::uint64_t total = 0;
@@ -59,7 +68,7 @@ RoutingScan scan_greedy_grid(const Topology& topo) {
     std::uint64_t local_total = 0;
     for (NodeId t = 0; t < n; ++t) {
       if (t == static_cast<NodeId>(s)) continue;
-      const auto path = route_greedy_grid(topo, static_cast<NodeId>(s), t);
+      const auto path = route_greedy_grid(csr, side, static_cast<NodeId>(s), t);
       const auto hops = static_cast<std::uint32_t>(path.size() - 1);
       local_max = std::max(local_max, hops);
       local_total += hops;

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "dsn/graph/csr.hpp"
 #include "dsn/routing/route.hpp"
 #include "dsn/topology/topology.hpp"
 
@@ -18,6 +19,12 @@ namespace dsn {
 /// so the walk always terminates in at most 2*side hops... per remaining
 /// distance; a defensive cap still guards against malformed topologies.
 std::vector<NodeId> route_greedy_grid(const Topology& topo, NodeId s, NodeId t);
+
+/// CSR-backed variant for all-pairs sweeps: identical walk over a prebuilt
+/// snapshot of the grid's graph (side = grid width), without per-hop
+/// adjacency-list pointer chasing.
+std::vector<NodeId> route_greedy_grid(const CsrView& csr, std::uint32_t side, NodeId s,
+                                      NodeId t);
 
 /// All-pairs greedy scan (max/avg path length).
 RoutingScan scan_greedy_grid(const Topology& topo);

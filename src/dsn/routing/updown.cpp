@@ -5,15 +5,17 @@
 
 #include "dsn/common/thread_pool.hpp"
 #include "dsn/graph/metrics.hpp"
+#include "dsn/graph/msbfs.hpp"
 
 namespace dsn {
 
-UpDownRouting::UpDownRouting(const Graph& g, NodeId root) : graph_(&g), root_(root) {
+UpDownRouting::UpDownRouting(const Graph& g, NodeId root)
+    : graph_(&g), csr_(g), root_(root) {
   const NodeId n = g.num_nodes();
   DSN_REQUIRE(root < n, "root out of range");
-  DSN_REQUIRE(is_connected(g), "up*/down* requires a connected graph");
+  DSN_REQUIRE(is_connected(csr_), "up*/down* requires a connected graph");
 
-  tree_level_ = bfs_distances(g, root);
+  tree_level_ = csr_bfs_distances(csr_, root);
 
   const std::size_t nn = static_cast<std::size_t>(n) * n;
   for (int ph = 0; ph < 2; ++ph) {
@@ -45,8 +47,7 @@ UpDownRouting::UpDownRouting(const Graph& g, NodeId root) : graph_(&g), root_(ro
       const int ph = static_cast<int>(state % 2);
       const std::uint32_t dist_v = (ph == 0 ? d0 : d1)[base + v];
 
-      for (const AdjHalf& h : g.neighbors(v)) {
-        const NodeId u = h.to;
+      for (const NodeId u : csr_.neighbors(v)) {
         if (ph == 0) {
           // Only an up hop u->v keeps the walker in phase 0.
           if (is_up(u, v) && d0[base + u] == kUnreachable) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dsn/graph/csr.hpp"
 #include "dsn/graph/graph.hpp"
 #include "dsn/routing/route.hpp"
 
@@ -44,6 +45,7 @@ class UpDownRouting {
 
  private:
   const Graph* graph_;
+  CsrView csr_;  // traversal snapshot: table construction walks this
   NodeId root_;
   std::vector<std::uint32_t> tree_level_;
   // dist_[phase][t * n + u] = shortest legal hops from u to t given phase
