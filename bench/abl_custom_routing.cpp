@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
 
   dsn::Table table({"routing", "accepted [Gb/s/host]", "latency [ns]", "avg hops",
                     "link max/mean", "link CoV", "status"});
-  const auto run_one = [&](const char* label, const dsn::SimRoutingPolicy& policy) {
+  const auto run_one = [&](const char* label, dsn::SimRoutingPolicy& policy) {
     dsn::Simulator sim(topo, policy, traffic, cfg);
     const dsn::SimResult res = sim.run();
     const auto loads = dsn::summarize_link_loads(sim.link_flit_counts());

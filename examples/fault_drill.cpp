@@ -1,9 +1,16 @@
 // Fault drill: what happens to your interconnect when cables get cut or
-// switches die? Sweep failure fractions on a chosen topology and report
-// survival probability and path-length inflation — then find the smallest
-// link cut that disconnects it (edge connectivity).
+// switches die? Two views:
+//
+//  1. Static sweep: random failure fractions on a chosen topology —
+//     survival probability, path-length inflation, and the smallest link cut
+//     that disconnects it (edge connectivity).
+//  2. Live drill: down a shortcut link mid-run inside the cycle-accurate
+//     flit simulator and watch the recovery layer react — per-epoch
+//     degradation table plus the machine-readable degradation-curve JSON
+//     that `dsn-lint drill --json` emits.
 //
 //   ./examples/example_fault_drill --topology dsn --n 256 --trials 20
+//   ./examples/example_fault_drill --n 64 --live-n 48 --json
 #include <iostream>
 
 #include "dsn/analysis/factory.hpp"
@@ -12,6 +19,72 @@
 #include "dsn/common/table.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/graph/paths.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
+
+namespace {
+
+/// Live drill on DSN-E: kill the first shortcut link mid-measurement, heal it
+/// later, and print the degradation curve the recovery layer records.
+void run_live_drill(std::uint32_t n, bool emit_json) {
+  const dsn::Topology topo = dsn::make_topology_by_name("dsn-e", n);
+
+  // First non-ring link: its loss actually forces a reroute (every ring hop
+  // of DSN-E has a parallel partner link).
+  dsn::LinkId victim = 0;
+  for (dsn::LinkId l = 0; l < topo.graph.num_links(); ++l) {
+    const auto [u, v] = topo.graph.link_endpoints(l);
+    const dsn::NodeId gap = u < v ? v - u : u - v;
+    if (gap != 1 && gap != n - 1) {
+      victim = l;
+      break;
+    }
+  }
+
+  dsn::SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 2'000;
+  cfg.drain_cycles = 40'000;
+  cfg.offered_gbps_per_host = 1.0;
+  cfg.epoch_cycles = 250;
+
+  dsn::FaultSchedule schedule;
+  schedule.link_down(500, victim).link_up(1'500, victim);
+
+  dsn::SimRouting routing(topo);
+  dsn::AdaptiveUpDownPolicy policy(routing, cfg.vcs);
+  dsn::UniformTraffic traffic(n * cfg.hosts_per_switch);
+  dsn::Simulator sim(topo, policy, traffic, cfg);
+  sim.set_fault_schedule(schedule);
+  const dsn::SimResult res = sim.run();
+
+  std::cout << "\nLive drill on " << topo.name << ": shortcut link " << victim
+            << " down @500, healed @1500\n";
+  std::cout << "  " << res.packets_delivered_total << "/" << res.packets_generated_total
+            << " delivered, " << res.packets_dropped << " dropped, "
+            << res.packets_retried << " retried, " << res.routing_rebuilds
+            << " routing rebuilds, conservation "
+            << (res.conservation_ok ? "OK" : "VIOLATED") << "\n";
+  for (const dsn::FaultRecord& rec : res.fault_log) {
+    std::cout << "  " << dsn::fault_kind_name(rec.event.kind) << " " << rec.event.id
+              << " @" << rec.event.cycle;
+    if (rec.reconnected)
+      std::cout << ": first delivery " << rec.reconnect_cycles << " cycles later";
+    std::cout << "\n";
+  }
+
+  dsn::Table curve({"epoch start", "injected", "delivered", "dropped", "retried"});
+  for (const dsn::EpochStats& e : res.epochs)
+    curve.row().cell(e.start_cycle).cell(e.injected).cell(e.delivered).cell(e.dropped).cell(
+        e.retried);
+  curve.print(std::cout, "Degradation curve (250-cycle buckets)");
+
+  if (emit_json)
+    std::cout << "\ndegradation-curve JSON (dsn-lint drill --json emits the same shape):\n"
+              << dsn::degradation_curve_json(res).dump(2) << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   dsn::Cli cli("Fault drill: degradation of a topology under random failures.");
@@ -19,6 +92,9 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "256", "number of switches");
   cli.add_flag("trials", "20", "random trials per failure fraction");
   cli.add_flag("seed", "1", "seed");
+  cli.add_flag("live", "true", "also run the live simulator drill");
+  cli.add_flag("live-n", "48", "switch count for the live drill (DSN-E)");
+  cli.add_flag("json", "false", "print the live drill's degradation-curve JSON");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
@@ -55,5 +131,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout, "Degradation under random failures (" +
                              std::to_string(trials) + " trials/point)");
+
+  if (cli.get_bool("live"))
+    run_live_drill(static_cast<std::uint32_t>(cli.get_uint("live-n")),
+                   cli.get_bool("json"));
   return 0;
 }

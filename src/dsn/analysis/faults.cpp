@@ -1,9 +1,14 @@
 #include "dsn/analysis/faults.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
+#include <span>
 
 #include "dsn/common/rng.hpp"
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/graph/csr.hpp"
+#include "dsn/graph/msbfs.hpp"
 
 namespace dsn {
 
@@ -36,50 +41,68 @@ Graph remove_nodes(const Graph& g, const std::vector<NodeId>& nodes) {
   return out;
 }
 
-namespace {
-
-/// Path stats restricted to the `alive` node subset. Connected means every
-/// alive node reaches every other alive node.
-struct SubsetStats {
-  bool connected = false;
-  std::uint32_t diameter = 0;
-  double aspl = 0.0;
-};
-
-SubsetStats subset_path_stats(const Graph& g, const std::vector<std::uint8_t>& alive) {
-  SubsetStats out;
-  std::uint64_t alive_count = 0;
-  for (const auto a : alive) alive_count += a;
+SubsetPathStats subset_path_stats(const Graph& g, const std::vector<std::uint8_t>& alive) {
+  DSN_REQUIRE(alive.size() == g.num_nodes(), "alive mask size mismatch");
+  SubsetPathStats out;
+  std::vector<NodeId> sources;
+  sources.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive[v]) sources.push_back(v);
+  }
+  const std::uint64_t alive_count = sources.size();
   if (alive_count <= 1) {
     out.connected = true;
     return out;
   }
-  std::uint64_t pairs = 0;
+
+  const CsrView csr(g);
+  const std::size_t batches = (sources.size() + kMsBfsBatch - 1) / kMsBfsBatch;
+  struct BatchAcc {
+    std::uint64_t reached = 0;
+    std::uint64_t total = 0;
+    std::uint32_t diameter = 0;
+  };
+  std::vector<BatchAcc> acc(batches);
+  ThreadPool::global().parallel_for(0, batches, [&](std::size_t b) {
+    const std::size_t lo = b * kMsBfsBatch;
+    const std::size_t count = std::min<std::size_t>(kMsBfsBatch, sources.size() - lo);
+    MsBfsScratch scratch;
+    BatchAcc& a = acc[b];
+    msbfs_sweep(csr, std::span<const NodeId>(sources).subspan(lo, count), scratch,
+                [&](NodeId v, std::uint32_t level, std::uint64_t fresh) {
+                  if (!alive[v]) return;
+                  const auto lanes = static_cast<std::uint32_t>(std::popcount(fresh));
+                  a.reached += lanes;
+                  a.total += static_cast<std::uint64_t>(level) * lanes;
+                  a.diameter = std::max(a.diameter, level);
+                });
+  });
+
+  std::uint64_t reached = 0;
   std::uint64_t total = 0;
   std::uint32_t diameter = 0;
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    if (!alive[s]) continue;
-    const auto dist = bfs_distances(g, s);
-    for (NodeId t = 0; t < g.num_nodes(); ++t) {
-      if (!alive[t] || t == s) continue;
-      if (dist[t] == kUnreachable) return out;  // connected stays false
-      total += dist[t];
-      diameter = std::max(diameter, dist[t]);
-      ++pairs;
-    }
+  for (const BatchAcc& a : acc) {  // batch-order merge: worker-count invariant
+    reached += a.reached;
+    total += a.total;
+    diameter = std::max(diameter, a.diameter);
   }
+  const std::uint64_t pairs = alive_count * (alive_count - 1);
+  if (reached != pairs) return out;  // disconnected: all-zero stats
   out.connected = true;
   out.diameter = diameter;
   out.aspl = static_cast<double>(total) / static_cast<double>(pairs);
   return out;
 }
 
-FaultTrialResult aggregate_trials(double fraction, const std::vector<SubsetStats>& stats) {
+namespace {
+
+FaultTrialResult aggregate_trials(double fraction,
+                                  const std::vector<SubsetPathStats>& stats) {
   FaultTrialResult result;
   result.fraction_failed = fraction;
   result.trials = static_cast<std::uint32_t>(stats.size());
   double diam_sum = 0.0, aspl_sum = 0.0;
-  for (const SubsetStats& s : stats) {
+  for (const SubsetPathStats& s : stats) {
     if (!s.connected) continue;
     ++result.connected_trials;
     diam_sum += s.diameter;
@@ -103,7 +126,7 @@ FaultTrialResult evaluate_link_faults(const Topology& topo, double fraction,
   const Graph& g = topo.graph;
   const auto kill = static_cast<std::size_t>(
       static_cast<double>(g.num_links()) * fraction + 0.5);
-  std::vector<SubsetStats> stats(trials);
+  std::vector<SubsetPathStats> stats(trials);
   const std::vector<std::uint8_t> all_alive(g.num_nodes(), 1);
 
   Rng rng(seed);
@@ -127,7 +150,7 @@ FaultTrialResult evaluate_switch_faults(const Topology& topo, double fraction,
   const Graph& g = topo.graph;
   const auto kill = static_cast<std::size_t>(
       static_cast<double>(g.num_nodes()) * fraction + 0.5);
-  std::vector<SubsetStats> stats(trials);
+  std::vector<SubsetPathStats> stats(trials);
 
   Rng rng(seed);
   std::vector<NodeId> nodes(g.num_nodes());

@@ -31,6 +31,20 @@ FaultTrialResult evaluate_link_faults(const Topology& topo, double fraction,
 FaultTrialResult evaluate_switch_faults(const Topology& topo, double fraction,
                                         std::uint32_t trials, std::uint64_t seed);
 
+/// Path statistics restricted to an `alive` node subset: connected means
+/// every alive node reaches every other alive node; diameter/ASPL are over
+/// alive pairs only (all zero when disconnected). Runs ceil(alive/64)
+/// bit-parallel MS-BFS sweeps over a CSR snapshot instead of one BFS per
+/// node; per-batch accumulators are merged in batch order, so the result is
+/// deterministic for any worker count.
+struct SubsetPathStats {
+  bool connected = false;
+  std::uint32_t diameter = 0;
+  double aspl = 0.0;
+};
+
+SubsetPathStats subset_path_stats(const Graph& g, const std::vector<std::uint8_t>& alive);
+
 /// Copy of a graph with the given links removed.
 Graph remove_links(const Graph& g, const std::vector<LinkId>& links);
 

@@ -36,6 +36,7 @@
 #include "dsn/layout/layout.hpp"
 
 #include "dsn/sim/config.hpp"
+#include "dsn/sim/fault.hpp"
 #include "dsn/sim/packet.hpp"
 #include "dsn/sim/policy.hpp"
 #include "dsn/sim/simulator.hpp"

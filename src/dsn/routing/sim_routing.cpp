@@ -6,26 +6,63 @@
 
 namespace dsn {
 
-SimRouting::SimRouting(const Topology& topo, NodeId updown_root)
+namespace {
+
+Graph alive_subgraph(const Graph& g, std::span<const std::uint8_t> link_alive,
+                     std::span<const std::uint8_t> switch_alive) {
+  DSN_REQUIRE(link_alive.size() == g.num_links(), "link_alive mask size mismatch");
+  DSN_REQUIRE(switch_alive.size() == g.num_nodes(), "switch_alive mask size mismatch");
+  Graph out(g.num_nodes());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (!link_alive[l]) continue;
+    const auto [u, v] = g.link_endpoints(l);
+    if (!switch_alive[u] || !switch_alive[v]) continue;
+    out.add_link(u, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+SimRouting::SimRouting(const Topology& topo, NodeId updown_root, ThreadPool* pool)
     : topo_(&topo), n_(topo.num_nodes()), updown_(topo.graph, updown_root) {
-  const Graph& g = topo.graph;
+  build_tables(topo.graph, pool);
+}
+
+SimRouting::SimRouting(const Topology& topo, std::span<const std::uint8_t> link_alive,
+                       std::span<const std::uint8_t> switch_alive, NodeId updown_root,
+                       ThreadPool* pool)
+    : topo_(&topo),
+      n_(topo.num_nodes()),
+      degraded_(std::make_unique<Graph>(alive_subgraph(topo.graph, link_alive,
+                                                       switch_alive))),
+      updown_(*degraded_, updown_root, /*allow_disconnected=*/true) {
+  DSN_REQUIRE(updown_root < switch_alive.size() && switch_alive[updown_root],
+              "up*/down* root must be an alive switch");
+  build_tables(*degraded_, pool);
+}
+
+void SimRouting::build_tables(const Graph& g, ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
   const std::size_t nn = static_cast<std::size_t>(n_) * n_;
   dist_.assign(nn, kUnreachable);
 
-  parallel_for(0, n_, [&](std::size_t src) {
+  tp.parallel_for(0, n_, [&](std::size_t src) {
     const auto d = bfs_distances(g, static_cast<NodeId>(src));
     std::copy(d.begin(), d.end(), dist_.begin() + static_cast<std::ptrdiff_t>(src * n_));
   });
 
   // Minimal next hops per (u, t): neighbors of u one hop closer to t,
-  // collected per source then flattened with a prefix sum.
+  // collected per source then flattened with a prefix sum. Unreachable
+  // destinations (degraded builds) naturally collect zero next hops.
   std::vector<std::vector<NodeId>> per_u(n_);
   std::vector<std::uint32_t> counts(nn, 0);
-  parallel_for(0, n_, [&](std::size_t u) {
+  tp.parallel_for(0, n_, [&](std::size_t u) {
     auto& flat = per_u[u];
     for (NodeId t = 0; t < n_; ++t) {
       if (t == static_cast<NodeId>(u)) continue;
       const std::uint32_t du = dist_[u * n_ + t];
+      if (du == kUnreachable) continue;
       std::uint32_t added = 0;
       for (const AdjHalf& h : g.neighbors(static_cast<NodeId>(u))) {
         if (dist_[static_cast<std::size_t>(h.to) * n_ + t] + 1 == du) {
@@ -39,6 +76,7 @@ SimRouting::SimRouting(const Topology& topo, NodeId updown_root)
 
   minimal_off_.assign(nn + 1, 0);
   for (std::size_t i = 0; i < nn; ++i) minimal_off_[i + 1] = minimal_off_[i] + counts[i];
+  minimal_flat_.clear();
   minimal_flat_.reserve(minimal_off_[nn]);
   for (NodeId u = 0; u < n_; ++u) {
     minimal_flat_.insert(minimal_flat_.end(), per_u[u].begin(), per_u[u].end());

@@ -4,6 +4,11 @@
 // shortest legal paths as the escape layer. Deadlock freedom follows from
 // Duato's theory for virtual cut-through: the escape subnetwork (up*/down*)
 // has an acyclic channel dependency graph and is connected.
+//
+// The masked constructor supports live fault recovery: it builds the same
+// tables over the alive subgraph only (dead links and halted switches
+// removed), allowing disconnected intermediate states — unreachable pairs
+// simply have no next hops until the topology heals.
 #pragma once
 
 #include <memory>
@@ -16,20 +21,34 @@
 
 namespace dsn {
 
+class ThreadPool;
+
 class SimRouting {
  public:
   /// Builds APSP distances, minimal next-hop sets and up*/down* tables.
-  explicit SimRouting(const Topology& topo, NodeId updown_root = 0);
+  /// `pool` overrides the global thread pool for table construction (the
+  /// deterministic-replay tests rebuild with explicit 1/4/8-worker pools;
+  /// the tables are identical for any worker count).
+  explicit SimRouting(const Topology& topo, NodeId updown_root = 0,
+                      ThreadPool* pool = nullptr);
+
+  /// Degraded rebuild over the alive subgraph (link_alive indexed by LinkId,
+  /// switch_alive by NodeId; a link is kept only when it and both endpoints
+  /// are alive). `updown_root` must be an alive switch.
+  SimRouting(const Topology& topo, std::span<const std::uint8_t> link_alive,
+             std::span<const std::uint8_t> switch_alive, NodeId updown_root,
+             ThreadPool* pool = nullptr);
 
   const Topology& topology() const { return *topo_; }
   const UpDownRouting& updown() const { return updown_; }
 
-  /// Hop distance between switches.
+  /// Hop distance between switches (kUnreachable across dead regions).
   std::uint32_t distance(NodeId u, NodeId t) const {
     return dist_[static_cast<std::size_t>(u) * n_ + t];
   }
 
-  /// Minimal adaptive next hops from u toward t (neighbors one hop closer).
+  /// Minimal adaptive next hops from u toward t (neighbors one hop closer;
+  /// empty when t is unreachable).
   std::span<const NodeId> minimal_next_hops(NodeId u, NodeId t) const;
 
   /// Escape next hop (up*/down*). `down_only` reflects whether the packet's
@@ -42,8 +61,11 @@ class SimRouting {
   bool escape_hop_is_down(NodeId u, NodeId v) const { return !updown_.is_up(u, v); }
 
  private:
+  void build_tables(const Graph& g, ThreadPool* pool);
+
   const Topology* topo_;
   NodeId n_;
+  std::unique_ptr<Graph> degraded_;  ///< owned alive subgraph (masked builds only)
   UpDownRouting updown_;
   std::vector<std::uint32_t> dist_;       // n * n
   std::vector<NodeId> minimal_flat_;      // concatenated next-hop lists

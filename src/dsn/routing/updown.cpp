@@ -9,11 +9,12 @@
 
 namespace dsn {
 
-UpDownRouting::UpDownRouting(const Graph& g, NodeId root)
+UpDownRouting::UpDownRouting(const Graph& g, NodeId root, bool allow_disconnected)
     : graph_(&g), csr_(g), root_(root) {
   const NodeId n = g.num_nodes();
   DSN_REQUIRE(root < n, "root out of range");
-  DSN_REQUIRE(is_connected(csr_), "up*/down* requires a connected graph");
+  DSN_REQUIRE(allow_disconnected || is_connected(csr_),
+              "up*/down* requires a connected graph");
 
   tree_level_ = csr_bfs_distances(csr_, root);
 

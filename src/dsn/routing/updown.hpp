@@ -20,7 +20,13 @@ namespace dsn {
 class UpDownRouting {
  public:
   /// Builds tree levels and both next-hop tables (O(n * E) preprocessing).
-  UpDownRouting(const Graph& g, NodeId root);
+  /// With `allow_disconnected` the graph may have several components (the
+  /// degraded rebuilds of the fault-recovery path): nodes unreachable from
+  /// the root keep kUnreachable tree levels — the (level, id) orientation
+  /// stays a total order, so legality is still acyclic — and pairs in
+  /// different components simply have no legal paths (next_hop returns
+  /// kInvalidNode for them).
+  UpDownRouting(const Graph& g, NodeId root, bool allow_disconnected = false);
 
   NodeId root() const { return root_; }
   const Graph& graph() const { return *graph_; }

@@ -50,6 +50,26 @@ struct SimConfig {
   bool record_packet_traces = false;
   std::size_t trace_limit = 100'000;
 
+  // --- live fault injection & recovery (see dsn/sim/fault.hpp) ------------
+  /// Bucket width of the degradation curve: delivered/dropped/retried counts
+  /// are aggregated into SimResult::epochs per epoch_cycles-cycle bucket
+  /// (0 disables the curve).
+  std::uint64_t epoch_cycles = 0;
+  /// Rebuild the policy's routing state (up*/down* re-derivation, masked
+  /// tables) after every topology-changing fault event.
+  bool rebuild_routing_on_fault = true;
+  /// Requeue packets damaged by a fault at their source NIC with bounded
+  /// exponential backoff instead of dropping them outright.
+  bool retry_on_fault = true;
+  std::uint32_t max_retries = 8;
+  /// First-retry delay; the k-th retry of a packet waits
+  /// min(retry_backoff_cycles << (k-1), retry_backoff_cap_cycles).
+  std::uint64_t retry_backoff_cycles = 64;
+  std::uint64_t retry_backoff_cap_cycles = 4096;
+  /// Drop packets older than this many cycles at their next routing attempt
+  /// (0 disables). Livelock guard for destinations inside a dead region.
+  std::uint64_t packet_ttl_cycles = 0;
+
   /// Nanoseconds per simulator cycle (= flit serialization time).
   double cycle_ns() const { return flit_bits / link_bw_gbps; }
   std::uint64_t router_delay_cycles() const {
@@ -78,6 +98,9 @@ struct SimConfig {
     DSN_REQUIRE(hosts_per_switch >= 1, "need at least one host per switch");
     DSN_REQUIRE(link_bw_gbps > 0 && flit_bits > 0, "bandwidth and flit size must be positive");
     DSN_REQUIRE(offered_gbps_per_host >= 0, "offered load must be non-negative");
+    DSN_REQUIRE(retry_backoff_cycles >= 1, "retry backoff must be positive");
+    DSN_REQUIRE(retry_backoff_cap_cycles >= retry_backoff_cycles,
+                "retry backoff cap must be >= the base backoff");
   }
 };
 

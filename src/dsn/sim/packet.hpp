@@ -11,6 +11,9 @@ namespace dsn {
 
 using PacketSlot = std::uint32_t;
 
+/// Sentinel slot value (no packet); used by the fault-recovery bookkeeping.
+inline constexpr PacketSlot kInvalidPacketSlot = 0xffffffffu;
+
 struct Packet {
   std::uint64_t id = 0;  ///< monotonically increasing, for debugging
   HostId src_host = 0;
@@ -25,6 +28,8 @@ struct Packet {
   /// Opaque per-packet routing state threaded through SimRoutingPolicy
   /// (escape down-only bit for adaptive routing, phase for DSN custom).
   std::uint8_t route_state = 0;
+  std::uint32_t retries = 0;   ///< fault requeues so far (bounded by max_retries)
+  std::uint64_t retry_at = 0;  ///< earliest re-injection cycle while queued for retry
 };
 
 struct Flit {
@@ -44,6 +49,9 @@ struct PacketTrace {
   std::uint64_t inject_cycle = 0;
   std::uint64_t eject_cycle = 0;
   std::uint32_t hops = 0;
+  std::uint32_t retries = 0;  ///< fault requeues the packet survived
+
+  friend bool operator==(const PacketTrace&, const PacketTrace&) = default;
 };
 
 }  // namespace dsn

@@ -5,27 +5,52 @@
 
 namespace dsn {
 
+namespace {
+
+/// Shared recovery step of the up*/down*-based policies: rebuild the full
+/// SimRouting tables over the alive subgraph, rooted at the lowest alive
+/// switch (the pristine root may be halted). Returns nullptr when everything
+/// is alive again, which drops the policy back to its pristine tables.
+std::unique_ptr<SimRouting> rebuild_degraded_tables(const FaultView& view,
+                                                    ThreadPool* pool) {
+  if (view.all_alive()) return nullptr;
+  NodeId root = kInvalidNode;
+  for (NodeId v = 0; v < view.switch_alive.size(); ++v) {
+    if (view.switch_alive[v]) {
+      root = v;
+      break;
+    }
+  }
+  DSN_REQUIRE(root != kInvalidNode, "at least one switch must stay alive");
+  return std::make_unique<SimRouting>(*view.topo, view.link_alive, view.switch_alive,
+                                      root, pool);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // AdaptiveUpDownPolicy — state bit 0 holds the escape "down-only" flag.
 // ---------------------------------------------------------------------------
 
-AdaptiveUpDownPolicy::AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs)
-    : routing_(&routing), vcs_(vcs) {
+AdaptiveUpDownPolicy::AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs,
+                                           ThreadPool* rebuild_pool)
+    : routing_(&routing), vcs_(vcs), rebuild_pool_(rebuild_pool) {
   DSN_REQUIRE(vcs >= 2, "adaptive policy needs >= 2 VCs (escape + adaptive)");
 }
 
 void AdaptiveUpDownPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
                                       std::vector<RouteCandidate>& out) const {
+  const SimRouting& tables = table();
   out.clear();
   // Adaptive minimal hops on VCs 1..V-1, preferred over the escape VC.
-  for (const NodeId v : routing_->minimal_next_hops(u, t)) {
+  for (const NodeId v : tables.minimal_next_hops(u, t)) {
     for (std::uint32_t vc = 1; vc < vcs_; ++vc) {
       out.push_back({v, vc, /*escape=*/false});
     }
   }
   // Escape hop on VC 0 following up*/down*, honoring the down-only state.
   const bool down_only = (state & 1u) != 0;
-  const NodeId esc = routing_->escape_next_hop(u, t, down_only);
+  const NodeId esc = tables.escape_next_hop(u, t, down_only);
   if (esc != kInvalidNode) {
     out.push_back({esc, 0, /*escape=*/true});
   }
@@ -38,15 +63,20 @@ std::uint8_t AdaptiveUpDownPolicy::next_state(NodeId u, NodeId v,
   // cut-through absorbs whole packets on adaptive channels, which resets the
   // escape history (Duato's theory for VCT).
   if (!chosen.escape) return 0;
-  return routing_->escape_hop_is_down(u, v) ? 1 : 0;
+  return table().escape_hop_is_down(u, v) ? 1 : 0;
+}
+
+void AdaptiveUpDownPolicy::on_fault_update(const FaultView& view) {
+  degraded_ = rebuild_degraded_tables(view, rebuild_pool_);
 }
 
 // ---------------------------------------------------------------------------
 // UpDownOnlyPolicy — state bit 0 holds the sticky down-only flag.
 // ---------------------------------------------------------------------------
 
-UpDownOnlyPolicy::UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs)
-    : routing_(&routing), vcs_(vcs) {
+UpDownOnlyPolicy::UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs,
+                                   ThreadPool* rebuild_pool)
+    : routing_(&routing), vcs_(vcs), rebuild_pool_(rebuild_pool) {
   DSN_REQUIRE(vcs >= 1, "need at least one VC");
 }
 
@@ -54,7 +84,7 @@ void UpDownOnlyPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
                                   std::vector<RouteCandidate>& out) const {
   out.clear();
   const bool down_only = (state & 1u) != 0;
-  const NodeId v = routing_->escape_next_hop(u, t, down_only);
+  const NodeId v = table().escape_next_hop(u, t, down_only);
   if (v == kInvalidNode) return;
   for (std::uint32_t vc = 0; vc < vcs_; ++vc) {
     out.push_back({v, vc, /*escape=*/true});
@@ -65,7 +95,11 @@ std::uint8_t UpDownOnlyPolicy::next_state(NodeId u, NodeId v,
                                           const RouteCandidate& /*chosen*/,
                                           std::uint8_t state) const {
   // Plain up*/down*: once the path turns downward it stays downward.
-  return (state & 1u) != 0 || routing_->escape_hop_is_down(u, v) ? 1 : 0;
+  return (state & 1u) != 0 || table().escape_hop_is_down(u, v) ? 1 : 0;
+}
+
+void UpDownOnlyPolicy::on_fault_update(const FaultView& view) {
+  degraded_ = rebuild_degraded_tables(view, rebuild_pool_);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,10 +180,50 @@ DsnCustomPolicy::Decision DsnCustomPolicy::decide(NodeId u, NodeId t,
   return {finish_hop(u, t), kPhaseFinish};
 }
 
+bool DsnCustomPolicy::hop_alive(NodeId u, NodeId v) const {
+  if (!switch_alive_[v]) return false;
+  for (const AdjHalf& h : fault_topo_->graph.neighbors(u)) {
+    if (h.to == v && link_alive_[h.link]) return true;
+  }
+  return false;
+}
+
+void DsnCustomPolicy::on_fault_update(const FaultView& view) {
+  fault_topo_ = view.topo;
+  link_alive_.assign(view.link_alive.begin(), view.link_alive.end());
+  switch_alive_.assign(view.switch_alive.begin(), view.switch_alive.end());
+  degraded_ = !view.all_alive();
+}
+
 void DsnCustomPolicy::candidates(NodeId u, NodeId t, std::uint8_t state,
                                  std::vector<RouteCandidate>& out) const {
   out.clear();
-  const RouteCandidate base = decide(u, t, state).candidate;
+  RouteCandidate base = decide(u, t, state).candidate;
+  if (degraded_ && !hop_alive(u, base.next)) {
+    const Dsn& d = *dsn_;
+    if (base.vc == kVcUp) {
+      // PRE-WORK blocked by a dead descent link: skip ahead to MAIN from the
+      // current level (phases only advance, so the class ordering holds).
+      base = decide(u, t, kPhaseMain).candidate;
+    }
+    if (!hop_alive(u, base.next)) {
+      const NodeId fwd = d.succ(u);
+      const NodeId bwd = d.pred(u);
+      if (base.next != fwd && base.next != bwd) {
+        // Dead shortcut: walk around it on ring hops, staying in MAIN.
+        base = {fwd, kVcMain, /*escape=*/false};
+      } else {
+        // Dead ring hop: flip the walk direction; the detour rides the
+        // FINISH class (or Extra inside the region) since MAIN's forward
+        // premise is gone either way.
+        const NodeId other = base.next == fwd ? bwd : fwd;
+        const std::uint32_t p = d.p();
+        const bool region = t < 2 * p && u <= 2 * p && other <= 2 * p;
+        base = {other, region ? kVcExtra : kVcFinish, /*escape=*/false};
+      }
+      if (!hop_alive(u, base.next)) return;  // stranded: TTL accounts the packet
+    }
+  }
   // Expand the channel class into its vcs_per_class physical VCs.
   for (std::uint32_t k = 0; k < vcs_per_class_; ++k) {
     out.push_back({base.next, base.vc * vcs_per_class_ + k, base.escape});

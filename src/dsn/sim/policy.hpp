@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "dsn/routing/sim_routing.hpp"
@@ -25,11 +27,32 @@
 
 namespace dsn {
 
+class ThreadPool;
+
 /// One admissible (next switch, virtual channel) pair, in preference order.
 struct RouteCandidate {
   NodeId next;
   std::uint32_t vc;
   bool escape;  ///< true when this candidate uses the escape layer
+};
+
+/// Snapshot of the simulator's live fault state handed to
+/// SimRoutingPolicy::on_fault_update (masks indexed by LinkId / NodeId;
+/// spans stay valid only for the duration of the call).
+struct FaultView {
+  const Topology* topo = nullptr;
+  std::span<const std::uint8_t> link_alive;
+  std::span<const std::uint8_t> switch_alive;
+
+  bool all_alive() const {
+    for (const std::uint8_t a : link_alive) {
+      if (!a) return false;
+    }
+    for (const std::uint8_t a : switch_alive) {
+      if (!a) return false;
+    }
+    return true;
+  }
 };
 
 class SimRoutingPolicy {
@@ -48,39 +71,71 @@ class SimRoutingPolicy {
   /// New routing state after taking hop u -> v via `chosen`.
   virtual std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
                                   std::uint8_t state) const = 0;
+
+  /// Called by the simulator after every topology-changing fault event (when
+  /// SimConfig::rebuild_routing_on_fault is set): rebuild whatever routing
+  /// state the policy derives from the topology. Default: no recovery.
+  virtual void on_fault_update(const FaultView& view) { (void)view; }
+
+  /// When true the simulator resets every live packet's routing state to
+  /// initial_state() after a rebuild — needed when the state references the
+  /// previous topology (e.g. the up*/down* down-only bit of an orientation
+  /// that no longer exists).
+  virtual bool reset_state_on_fault() const { return false; }
 };
 
 class AdaptiveUpDownPolicy final : public SimRoutingPolicy {
  public:
   /// vcs must be >= 2 (one escape VC + at least one adaptive VC).
-  AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs);
+  /// `rebuild_pool` overrides the global thread pool for degraded-table
+  /// rebuilds on fault events (tables are identical for any worker count).
+  AdaptiveUpDownPolicy(const SimRouting& routing, std::uint32_t vcs,
+                       ThreadPool* rebuild_pool = nullptr);
 
   const char* name() const override { return "adaptive-updown"; }
   void candidates(NodeId u, NodeId t, std::uint8_t state,
                   std::vector<RouteCandidate>& out) const override;
   std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
                           std::uint8_t state) const override;
+  /// Full recovery: re-derives APSP + up*/down* tables over the alive
+  /// subgraph (root = lowest alive switch); drops back to the pristine
+  /// tables once everything heals.
+  void on_fault_update(const FaultView& view) override;
+  /// The down-only bit refers to the orientation the packet was routed
+  /// under; stale bits must not constrain routes on the new orientation.
+  bool reset_state_on_fault() const override { return true; }
 
  private:
+  const SimRouting& table() const { return degraded_ ? *degraded_ : *routing_; }
+
   const SimRouting* routing_;
   std::uint32_t vcs_;
+  ThreadPool* rebuild_pool_;
+  std::unique_ptr<SimRouting> degraded_;
 };
 
 /// Deterministic up*/down*-only routing on all VCs (the routing the paper
 /// compares its custom routing against in the traffic-balance remark).
 class UpDownOnlyPolicy final : public SimRoutingPolicy {
  public:
-  UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs);
+  UpDownOnlyPolicy(const SimRouting& routing, std::uint32_t vcs,
+                   ThreadPool* rebuild_pool = nullptr);
 
   const char* name() const override { return "updown-only"; }
   void candidates(NodeId u, NodeId t, std::uint8_t state,
                   std::vector<RouteCandidate>& out) const override;
   std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
                           std::uint8_t state) const override;
+  void on_fault_update(const FaultView& view) override;
+  bool reset_state_on_fault() const override { return true; }
 
  private:
+  const SimRouting& table() const { return degraded_ ? *degraded_ : *routing_; }
+
   const SimRouting* routing_;
   std::uint32_t vcs_;
+  ThreadPool* rebuild_pool_;
+  std::unique_ptr<SimRouting> degraded_;
 };
 
 /// The DSN custom routing with per-packet phase state (DSN-V): requires
@@ -99,6 +154,14 @@ class DsnCustomPolicy final : public SimRoutingPolicy {
                   std::vector<RouteCandidate>& out) const override;
   std::uint8_t next_state(NodeId u, NodeId v, const RouteCandidate& chosen,
                           std::uint8_t state) const override;
+  /// Degraded mode: records the alive masks; candidates() then dodges dead
+  /// hops with ring fallbacks (a dead shortcut is walked around on ring
+  /// links in MAIN; a dead ring hop flips the walk direction in FINISH; a
+  /// blocked PRE-WORK descent skips ahead to MAIN). Fallbacks never move a
+  /// phase backward, preserving the Theorem 3 class ordering, but a
+  /// multi-fault pattern can strand a destination — the simulator's TTL
+  /// guard then accounts those packets as dropped.
+  void on_fault_update(const FaultView& view) override;
 
   /// Phase values stored in the packet routing state.
   static constexpr std::uint8_t kPhasePreWork = 0;
@@ -124,8 +187,16 @@ class DsnCustomPolicy final : public SimRoutingPolicy {
  private:
   std::uint32_t level_for_distance(std::uint64_t d) const;
   RouteCandidate finish_hop(NodeId u, NodeId t) const;
+  /// Any alive physical link u -> v (degraded mode only).
+  bool hop_alive(NodeId u, NodeId v) const;
+
   const Dsn* dsn_;
   std::uint32_t vcs_per_class_;
+  // Live fault state (empty until the first on_fault_update).
+  const Topology* fault_topo_ = nullptr;
+  std::vector<std::uint8_t> link_alive_;
+  std::vector<std::uint8_t> switch_alive_;
+  bool degraded_ = false;
 };
 
 /// Deliberately deadlock-PRONE policy for negative-control experiments: on a

@@ -5,7 +5,7 @@
 
 namespace dsn {
 
-Simulator::Simulator(const Topology& topo, const SimRoutingPolicy& policy,
+Simulator::Simulator(const Topology& topo, SimRoutingPolicy& policy,
                      const TrafficPattern& traffic, const SimConfig& config)
     : topo_(&topo), policy_(&policy), traffic_(&traffic), config_(config) {
   config_.validate();
@@ -20,6 +20,9 @@ Simulator::Simulator(const Topology& topo, const SimRoutingPolicy& policy,
   downstream_.resize(num_switches_);
   out_link_index_.resize(num_switches_);
   link_flits_.assign(g.num_links() * 2, 0);
+  link_alive_.assign(g.num_links(), 1);
+  switch_alive_.assign(num_switches_, 1);
+  link_ports_.resize(g.num_links());
 
   for (NodeId u = 0; u < num_switches_; ++u) {
     SwitchState& sw = switches_[u];
@@ -65,6 +68,7 @@ Simulator::Simulator(const Topology& topo, const SimRoutingPolicy& policy,
       const auto [a, b] = g.link_endpoints(link);
       // Direction bit: 0 when this output sends a->b.
       out_link_index_[u][i] = 2 * link + (u == a ? 0u : 1u);
+      link_ports_[link][u == a ? 0 : 1] = {u, i};
     }
   }
 
@@ -97,6 +101,23 @@ void Simulator::set_injection_trace(std::vector<TraceEntry> trace) {
   use_trace_ = true;
 }
 
+void Simulator::set_fault_schedule(FaultSchedule schedule) {
+  schedule.validate(*topo_);
+  fault_schedule_ = std::move(schedule);
+  fault_cursor_ = 0;
+  faults_armed_ = true;
+}
+
+EpochStats& Simulator::epoch_at(std::uint64_t now) {
+  const std::size_t idx = now / config_.epoch_cycles;
+  while (epochs_.size() <= idx) {
+    EpochStats e;
+    e.start_cycle = epochs_.size() * config_.epoch_cycles;
+    epochs_.push_back(e);
+  }
+  return epochs_[idx];
+}
+
 void Simulator::generate_traffic(std::uint64_t now) {
   const std::uint64_t window_end = config_.warmup_cycles + config_.measure_cycles;
 
@@ -114,6 +135,8 @@ void Simulator::generate_traffic(std::uint64_t now) {
     pkt.measured = now >= config_.warmup_cycles && now < window_end;
     pkt.route_state = policy_->initial_state();
     if (pkt.measured) ++measured_generated_;
+    ++generated_total_;
+    if (config_.epoch_cycles != 0) ++epoch_at(now).injected;
     nics_[src].source_queue.push_back(slot);
     ++in_flight_packets_;
   };
@@ -134,6 +157,9 @@ void Simulator::generate_traffic(std::uint64_t now) {
   if (now >= window_end) return;
   for (HostId h = 0; h < num_hosts_; ++h) {
     NicState& nic = nics_[h];
+    // Hosts of a halted switch stop generating (their rng simply pauses and
+    // resumes deterministically on revival).
+    if (faults_armed_ && !switch_alive_[h / config_.hosts_per_switch]) continue;
     if (!nic.rng.bernoulli(rate)) continue;
     enqueue(h, traffic_->dest(h, nic.rng));
   }
@@ -142,11 +168,14 @@ void Simulator::generate_traffic(std::uint64_t now) {
 void Simulator::nic_stream(std::uint64_t now) {
   for (HostId h = 0; h < num_hosts_; ++h) {
     NicState& nic = nics_[h];
+    // A halted switch freezes its hosts' NICs (queues keep their packets for
+    // the revival; any active stream was purged by the halt itself).
+    if (faults_armed_ && !switch_alive_[h / config_.hosts_per_switch]) continue;
     const std::uint32_t start_credits =
         config_.switching == SwitchingMode::kVirtualCutThrough ? config_.packet_flits
                                                                : 1;
     if (!nic.busy) {
-      if (nic.source_queue.empty()) continue;
+      if (nic.source_queue.empty() && nic.retry_queue.empty()) continue;
       // Virtual cut-through from the NIC too: pick a VC whose injection
       // buffer can hold the whole packet (one flit under wormhole).
       std::uint32_t chosen = config_.vcs;
@@ -158,9 +187,24 @@ void Simulator::nic_stream(std::uint64_t now) {
         }
       }
       if (chosen == config_.vcs) continue;
+      // Retries whose backoff expired go first (queue order); otherwise a
+      // fresh packet — a still-backing-off retry never blocks new traffic.
+      PacketSlot slot = kInvalidPacketSlot;
+      for (std::size_t i = 0; i < nic.retry_queue.size(); ++i) {
+        if (packets_[nic.retry_queue[i]].retry_at <= now) {
+          slot = nic.retry_queue[i];
+          nic.retry_queue.erase(nic.retry_queue.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (slot == kInvalidPacketSlot) {
+        if (nic.source_queue.empty()) continue;
+        slot = nic.source_queue.front();
+        nic.source_queue.pop_front();
+      }
       nic.busy = true;
-      nic.streaming = nic.source_queue.front();
-      nic.source_queue.pop_front();
+      nic.streaming = slot;
       nic.flits_sent = 0;
       nic.stream_vc = chosen;
       packets_[nic.streaming].inject_cycle = now;
@@ -240,6 +284,7 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
       ivc.state = InputVc::State::kActive;
       ivc.out_port = out_port;
       ivc.out_vc = ovc;
+      ivc.cur_packet = head.packet;
       return true;
     }
     return false;
@@ -265,15 +310,25 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
                                 ? (k + rotate) % adaptive_count
                                 : k;
     const RouteCandidate& cand = scratch_candidates_[pos];
-    // Find the output port toward cand.next (first matching adjacency entry).
+    // Find the output port toward cand.next: first matching adjacency entry
+    // whose link (and downstream switch) is alive — parallel links (DSN-E Up
+    // links) mean the liveness check must be per link id, not per neighbor.
     std::uint32_t out_port = kInvalidNode;
     for (std::uint32_t j = 0; j < nbrs.size(); ++j) {
-      if (nbrs[j].to == cand.next) {
-        out_port = j;
-        break;
+      if (nbrs[j].to != cand.next) continue;
+      if (faults_armed_ &&
+          (!link_alive_[nbrs[j].link] || !switch_alive_[cand.next])) {
+        continue;
       }
+      out_port = j;
+      break;
     }
-    DSN_ASSERT(out_port != kInvalidNode, "candidate next hop must be a neighbor");
+    if (out_port == kInvalidNode) {
+      // Without live faults a missing port is a policy bug; with them it is
+      // a dead hop the policy has not (yet) routed around — skip it.
+      DSN_ASSERT(faults_armed_, "candidate next hop must be a neighbor");
+      continue;
+    }
     OutputVc& o = sw.out[out_port * config_.vcs + cand.vc];
     if (o.owned) continue;
     // VCT: the downstream buffer must absorb the whole packet. Wormhole:
@@ -287,6 +342,7 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
     ivc.state = InputVc::State::kActive;
     ivc.out_port = out_port;
     ivc.out_vc = cand.vc;
+    ivc.cur_packet = head.packet;
     // Per-hop packet state update happens at allocation time (head decision).
     pkt.route_state = policy_->next_state(sw_id, cand.next, cand, pkt.route_state);
     ++pkt.hops;
@@ -307,11 +363,38 @@ void Simulator::allocate_vcs(std::uint64_t now) {
         if (!front.head) continue;  // tail of a previous packet still draining
         DSN_ASSERT(!ivc.head_ready.empty(), "head flit must have a ready time");
         if (ivc.head_ready.front() > now) continue;
+        // TTL guard: packets stuck past their deadline (a destination inside
+        // a dead region, or a livelocked detour) are collected and purged
+        // after the scan so the drop accounting stays exact.
+        if (config_.packet_ttl_cycles != 0 &&
+            now - packets_[front.packet].gen_cycle > config_.packet_ttl_cycles) {
+          ttl_expired_.push_back(front.packet);
+          continue;
+        }
         if (try_allocate(u, port, vc, now)) {
           ivc.head_ready.pop_front();
         }
       }
     }
+  }
+  // Queued packets age out too: a NIC frozen by a dead source switch (or a
+  // retry queue whose destination never heals) would otherwise hold its
+  // packets in flight forever and wedge the drain.
+  if (config_.packet_ttl_cycles != 0) {
+    const auto expired = [&](PacketSlot s) {
+      if (now - packets_[s].gen_cycle <= config_.packet_ttl_cycles) return false;
+      ttl_expired_.push_back(s);
+      return true;
+    };
+    for (NicState& nic : nics_) {
+      std::erase_if(nic.source_queue, expired);
+      std::erase_if(nic.retry_queue, expired);
+    }
+  }
+  if (!ttl_expired_.empty()) {
+    purge_packets(ttl_expired_, now, /*allow_requeue=*/false, /*ttl=*/true, nullptr);
+    recompute_credits();
+    ttl_expired_.clear();
   }
 }
 
@@ -375,9 +458,17 @@ void Simulator::switch_allocation(std::uint64_t now) {
                 static_cast<std::uint32_t>(eject - pkt.gen_cycle));
             if (config_.record_packet_traces && traces_.size() < config_.trace_limit) {
               traces_.push_back({pkt.id, pkt.src_host, pkt.dst_host, pkt.gen_cycle,
-                                 pkt.inject_cycle, eject, pkt.hops});
+                                 pkt.inject_cycle, eject, pkt.hops, pkt.retries});
             }
           }
+          ++delivered_total_;
+          if (config_.epoch_cycles != 0) ++epoch_at(now).delivered;
+          // Any delivery ends the reconnection window of pending down events.
+          for (const std::size_t idx : pending_reconnect_) {
+            fault_log_[idx].reconnected = true;
+            fault_log_[idx].reconnect_cycles = eject - fault_log_[idx].event.cycle;
+          }
+          pending_reconnect_.clear();
           --in_flight_packets_;
           free_packet(flit.packet);
         }
@@ -402,9 +493,236 @@ void Simulator::switch_allocation(std::uint64_t now) {
       if (flit.tail) {
         o.owned = false;
         ivc.state = InputVc::State::kIdle;
+        ivc.cur_packet = kInvalidPacketSlot;
       }
       last_progress_cycle_ = now;
     }
+  }
+}
+
+void Simulator::collect_link_packets(LinkId l, std::vector<PacketSlot>& out) const {
+  for (const auto& [node, port] : link_ports_[l]) {
+    const SwitchState& sw = switches_[node];
+    // Flits in flight on the wire into this endpoint's input port.
+    for (const Arrival& a : sw.wire[port]) out.push_back(a.flit.packet);
+    // Packets mid-stream across the link: an allocation at this endpoint
+    // whose output port is the link's port streams toward the other side.
+    for (const InputVc& ivc : sw.in) {
+      if (ivc.state == InputVc::State::kActive && ivc.out_port == port) {
+        out.push_back(ivc.cur_packet);
+      }
+    }
+  }
+}
+
+void Simulator::collect_switch_packets(NodeId s, std::vector<PacketSlot>& out) const {
+  const SwitchState& sw = switches_[s];
+  // Everything buffered inside the halted switch is lost.
+  for (const InputVc& ivc : sw.in) {
+    for (const Flit& f : ivc.buffer) out.push_back(f.packet);
+    if (ivc.state == InputVc::State::kActive) out.push_back(ivc.cur_packet);
+  }
+  for (const auto& wire : sw.wire) {
+    for (const Arrival& a : wire) out.push_back(a.flit.packet);
+  }
+  // Streams crossing any incident link (either direction) are cut too.
+  for (const AdjHalf& h : topo_->graph.neighbors(s)) collect_link_packets(h.link, out);
+  // NIC streams of the halted switch's hosts have nowhere to land.
+  for (std::uint32_t k = 0; k < config_.hosts_per_switch; ++k) {
+    const NicState& nic = nics_[s * config_.hosts_per_switch + k];
+    if (nic.busy) out.push_back(nic.streaming);
+  }
+}
+
+void Simulator::purge_packets(std::vector<PacketSlot>& slots, std::uint64_t now,
+                              bool allow_requeue, bool ttl, FaultRecord* record) {
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  if (slots.empty()) return;
+  std::vector<std::uint8_t> dead(packets_.size(), 0);
+  for (const PacketSlot s : slots) dead[s] = 1;
+
+  // Abort NIC streams of dead packets (their sent flits are purged below; a
+  // requeued packet restarts from flit 0).
+  for (NicState& nic : nics_) {
+    if (nic.busy && dead[nic.streaming]) nic.busy = false;
+  }
+
+  std::uint64_t flits_removed = 0;
+  for (SwitchState& sw : switches_) {
+    for (auto& wire : sw.wire) {
+      const std::size_t before = wire.size();
+      std::erase_if(wire, [&](const Arrival& a) { return dead[a.flit.packet] != 0; });
+      flits_removed += before - wire.size();
+    }
+    for (InputVc& ivc : sw.in) {
+      bool touched = false;
+      if (ivc.state == InputVc::State::kActive && dead[ivc.cur_packet]) {
+        // Release the allocation the dead stream held.
+        sw.out[ivc.out_port * config_.vcs + ivc.out_vc].owned = false;
+        ivc.state = InputVc::State::kIdle;
+        ivc.cur_packet = kInvalidPacketSlot;
+        touched = true;
+      }
+      const std::size_t before = ivc.buffer.size();
+      std::erase_if(ivc.buffer, [&](const Flit& f) { return dead[f.packet] != 0; });
+      if (before != ivc.buffer.size()) {
+        flits_removed += before - ivc.buffer.size();
+        touched = true;
+      }
+      if (!touched) continue;
+      // Rebuild head_ready: one entry per unallocated head flit left in the
+      // buffer, routable after a fresh router delay (the post-fault
+      // re-route). The active stream's own head (if still buffered) already
+      // consumed its entry at allocation and gets none.
+      ivc.head_ready.clear();
+      bool skipped_active_head = ivc.state != InputVc::State::kActive;
+      for (const Flit& f : ivc.buffer) {
+        if (!f.head) continue;
+        if (!skipped_active_head && f.packet == ivc.cur_packet) {
+          skipped_active_head = true;
+          continue;
+        }
+        ivc.head_ready.push_back(now + router_delay_);
+      }
+    }
+  }
+
+  // Account every dead packet: bounded-backoff requeue at its source NIC, or
+  // an explicit drop.
+  for (const PacketSlot slot : slots) {
+    Packet& pkt = packets_[slot];
+    if (allow_requeue && pkt.retries < config_.max_retries) {
+      ++pkt.retries;
+      ++retried_total_;
+      if (config_.epoch_cycles != 0) ++epoch_at(now).retried;
+      pkt.hops = 0;
+      pkt.route_state = policy_->initial_state();
+      const std::uint32_t shift = pkt.retries - 1;
+      std::uint64_t backoff = config_.retry_backoff_cap_cycles;
+      if (shift < 32) {
+        backoff = std::min(backoff, config_.retry_backoff_cycles << shift);
+      }
+      pkt.retry_at = now + backoff;
+      nics_[pkt.src_host].retry_queue.push_back(slot);
+      if (record != nullptr) ++record->packets_requeued;
+    } else {
+      ++dropped_total_;
+      if (ttl) ++dropped_ttl_;
+      if (pkt.measured) ++measured_dropped_;
+      if (config_.epoch_cycles != 0) ++epoch_at(now).dropped;
+      --in_flight_packets_;
+      free_packet(slot);
+      if (record != nullptr) ++record->packets_dropped;
+    }
+  }
+  flits_dropped_ += flits_removed;
+  if (record != nullptr) record->flits_dropped += flits_removed;
+  last_progress_cycle_ = now;  // purging/requeuing is progress, not a wedge
+}
+
+void Simulator::recompute_credits() {
+  // Exact recount from the flow-control invariant
+  //   credits + pending returns + wire in-flight + downstream occupancy
+  //     == buffer_flits
+  // with the pending returns flushed (they are part of the free space the
+  // recount observes directly). Fault events are the only callers, so the
+  // cycle after a fault every credit counter is exact; in-flight streams can
+  // only ever see their credit view grow.
+  for (NodeId u = 0; u < num_switches_; ++u) {
+    SwitchState& sw = switches_[u];
+    for (std::uint32_t op = 0; op < sw.num_net_ports; ++op) {
+      const auto [down_sw, dport] = downstream_[u][op];
+      SwitchState& dn = switches_[down_sw];
+      for (std::uint32_t vc = 0; vc < config_.vcs; ++vc) {
+        sw.credits[op * config_.vcs + vc].clear();
+        std::uint32_t used =
+            static_cast<std::uint32_t>(dn.in[dport * config_.vcs + vc].buffer.size());
+        for (const Arrival& a : dn.wire[dport]) {
+          if (a.vc == vc) ++used;
+        }
+        DSN_ASSERT(used <= config_.buffer_flits, "occupancy exceeds buffer depth");
+        sw.out[op * config_.vcs + vc].credits = config_.buffer_flits - used;
+      }
+    }
+  }
+  // NIC credit returns are applied immediately (never queued), so the NIC
+  // recount only reflects purged injection-buffer flits.
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    const NodeId s = h / config_.hosts_per_switch;
+    const SwitchState& sw = switches_[s];
+    const std::uint32_t ip = sw.num_net_ports + (h % config_.hosts_per_switch);
+    for (std::uint32_t vc = 0; vc < config_.vcs; ++vc) {
+      std::uint32_t used =
+          static_cast<std::uint32_t>(sw.in[ip * config_.vcs + vc].buffer.size());
+      for (const Arrival& a : sw.wire[ip]) {
+        if (a.vc == vc) ++used;
+      }
+      DSN_ASSERT(used <= config_.buffer_flits, "occupancy exceeds buffer depth");
+      nics_[h].credits[vc] = config_.buffer_flits - used;
+    }
+  }
+}
+
+void Simulator::reset_route_states() {
+  std::vector<std::uint8_t> freed(packets_.size(), 0);
+  for (const PacketSlot s : free_slots_) freed[s] = 1;
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    if (!freed[i]) packets_[i].route_state = policy_->initial_state();
+  }
+}
+
+void Simulator::apply_fault_events(std::uint64_t now) {
+  const std::span<const FaultEvent> events = fault_schedule_.events();
+  while (fault_cursor_ < events.size() && events[fault_cursor_].cycle <= now) {
+    const FaultEvent ev = events[fault_cursor_++];
+    bool changed = false;
+    std::vector<PacketSlot> damaged;
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+        if (link_alive_[ev.id]) {
+          link_alive_[ev.id] = 0;
+          collect_link_packets(ev.id, damaged);
+          changed = true;
+        }
+        break;
+      case FaultKind::kLinkUp:
+        if (!link_alive_[ev.id]) {
+          link_alive_[ev.id] = 1;
+          changed = true;
+        }
+        break;
+      case FaultKind::kSwitchDown:
+        if (switch_alive_[ev.id]) {
+          switch_alive_[ev.id] = 0;
+          collect_switch_packets(ev.id, damaged);
+          changed = true;
+        }
+        break;
+      case FaultKind::kSwitchUp:
+        if (!switch_alive_[ev.id]) {
+          switch_alive_[ev.id] = 1;
+          changed = true;
+        }
+        break;
+    }
+    if (!changed) continue;  // redundant event (already in that state)
+
+    FaultRecord record;
+    record.event = ev;
+    purge_packets(damaged, now, config_.retry_on_fault, /*ttl=*/false, &record);
+    recompute_credits();
+    if (config_.rebuild_routing_on_fault) {
+      policy_->on_fault_update({topo_, link_alive_, switch_alive_});
+      record.rebuilt_routing = true;
+      ++routing_rebuilds_;
+      if (policy_->reset_state_on_fault()) reset_route_states();
+    }
+    if (ev.kind == FaultKind::kLinkDown || ev.kind == FaultKind::kSwitchDown) {
+      pending_reconnect_.push_back(fault_log_.size());
+    }
+    fault_log_.push_back(record);
+    last_progress_cycle_ = now;
   }
 }
 
@@ -419,9 +737,14 @@ SimResult Simulator::run() {
   SimResult result;
   result.offered_gbps_per_host = config_.offered_gbps_per_host;
 
+  // Start from the simulator's own fault state (all alive): a policy object
+  // reused across runs must not carry a previous run's degraded tables.
+  policy_->on_fault_update({topo_, link_alive_, switch_alive_});
+
   std::uint64_t now = 0;
   last_progress_cycle_ = 0;
   for (; now < hard_end; ++now) {
+    if (faults_armed_) apply_fault_events(now);
     generate_traffic(now);
     deliver_wire_flits(now);
     apply_credit_returns(now);
@@ -429,9 +752,10 @@ SimResult Simulator::run() {
     switch_allocation(now);
     nic_stream(now);
 
-    if (now >= window_end && measured_delivered_ == measured_generated_) {
+    if (now >= window_end &&
+        measured_delivered_ + measured_dropped_ == measured_generated_) {
       ++now;
-      break;  // all measured packets delivered — done
+      break;  // every measured packet accounted (delivered or dropped) — done
     }
     if (in_flight_packets_ > 0 && now - last_progress_cycle_ > watchdog) {
       result.deadlock = true;
@@ -442,7 +766,8 @@ SimResult Simulator::run() {
   result.cycles_run = now;
   result.packets_measured = measured_generated_;
   result.packets_delivered = measured_delivered_;
-  result.drained = measured_delivered_ == measured_generated_ && !result.deadlock;
+  result.drained =
+      measured_delivered_ + measured_dropped_ == measured_generated_ && !result.deadlock;
   const double cyc_ns = config_.cycle_ns();
   if (!measured_latencies_.empty()) {
     std::vector<std::uint32_t> sorted = measured_latencies_;
@@ -460,10 +785,29 @@ SimResult Simulator::run() {
       static_cast<double>(ejected_flits_in_window_) /
       (static_cast<double>(config_.measure_cycles) * num_hosts_);
   result.accepted_gbps_per_host = config_.flits_per_cycle_to_gbps(accepted_rate);
+
+  // Fault bookkeeping + the conservation check the fuzz harness asserts on:
+  // every injected packet must be delivered, explicitly dropped, or still
+  // allocated in a packet slot at the end.
+  result.packets_generated_total = generated_total_;
+  result.packets_delivered_total = delivered_total_;
+  result.packets_dropped = dropped_total_;
+  result.packets_dropped_ttl = dropped_ttl_;
+  result.packets_retried = retried_total_;
+  result.flits_dropped = flits_dropped_;
+  const std::uint64_t live =
+      static_cast<std::uint64_t>(packets_.size()) - free_slots_.size();
+  result.packets_in_flight_at_end = live;
+  result.conservation_ok =
+      live == in_flight_packets_ &&
+      generated_total_ == delivered_total_ + dropped_total_ + live;
+  result.routing_rebuilds = routing_rebuilds_;
+  result.fault_log = fault_log_;
+  result.epochs = epochs_;
   return result;
 }
 
-SimResult run_simulation(const Topology& topo, const SimRoutingPolicy& policy,
+SimResult run_simulation(const Topology& topo, SimRoutingPolicy& policy,
                          const TrafficPattern& traffic, const SimConfig& config) {
   Simulator sim(topo, policy, traffic, config);
   return sim.run();

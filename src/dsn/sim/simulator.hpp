@@ -18,12 +18,16 @@
 //    ejection ports with sink bandwidth of one flit per cycle.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "dsn/common/json.hpp"
 #include "dsn/sim/config.hpp"
+#include "dsn/sim/fault.hpp"
 #include "dsn/sim/packet.hpp"
 #include "dsn/sim/policy.hpp"
 #include "dsn/sim/trace.hpp"
@@ -45,11 +49,37 @@ struct SimResult {
   bool drained = false;    ///< all measured packets delivered before the drain cap
   bool deadlock = false;   ///< watchdog saw in-flight flits make no progress
   std::uint64_t cycles_run = 0;
+
+  // Degraded-mode observability (live fault injection, see dsn/sim/fault.hpp;
+  // totals cover all phases, not just the measurement window).
+  std::uint64_t packets_generated_total = 0;
+  std::uint64_t packets_delivered_total = 0;
+  std::uint64_t packets_dropped = 0;      ///< fault purges + TTL expiries
+  std::uint64_t packets_dropped_ttl = 0;  ///< of those, TTL expiries
+  std::uint64_t packets_retried = 0;      ///< requeue events (one per retry)
+  std::uint64_t flits_dropped = 0;        ///< flits purged from buffers/wires
+  /// Live packets at exit, recounted independently from the packet pool.
+  std::uint64_t packets_in_flight_at_end = 0;
+  /// Packet conservation: generated == delivered + dropped + in-flight, with
+  /// the in-flight count recounted from the pool (no unaccounted flits).
+  bool conservation_ok = true;
+  std::uint32_t routing_rebuilds = 0;
+  std::vector<FaultRecord> fault_log;  ///< one record per applied fault event
+  std::vector<EpochStats> epochs;      ///< degradation curve (epoch_cycles > 0)
 };
+
+/// Full SimResult as ordered JSON (byte-identical for identical results —
+/// the golden determinism tests compare these dumps across thread counts).
+Json to_json(const SimResult& result);
+
+/// Degradation-curve view: totals + fault log + per-epoch counts.
+Json degradation_curve_json(const SimResult& result);
 
 class Simulator {
  public:
-  Simulator(const Topology& topo, const SimRoutingPolicy& policy,
+  /// The policy is held non-const: fault recovery calls its on_fault_update
+  /// hook to rebuild routing tables when the topology changes mid-run.
+  Simulator(const Topology& topo, SimRoutingPolicy& policy,
             const TrafficPattern& traffic, const SimConfig& config);
 
   /// Run the configured warmup + measurement + drain phases.
@@ -59,6 +89,13 @@ class Simulator {
   /// schedule (entries must be sorted by cycle; packets whose cycle falls in
   /// the measurement window are measured). Call before run().
   void set_injection_trace(std::vector<TraceEntry> trace);
+
+  /// Arm a live fault schedule (validated against the topology). Events are
+  /// applied at the start of their cycle: flits on a dead link or inside a
+  /// halted switch are purged with explicit drop/requeue accounting, credits
+  /// are recomputed exactly from the flow-control invariant, and the policy
+  /// rebuilds its routing state. Call before run().
+  void set_fault_schedule(FaultSchedule schedule);
 
   /// Flits carried per directed link half during the measurement window
   /// (index = 2*link + dir with dir 0: u->v, 1: v->u); for the
@@ -78,6 +115,10 @@ class Simulator {
     enum class State : std::uint8_t { kIdle, kActive } state = State::kIdle;
     std::uint32_t out_port = 0;
     std::uint32_t out_vc = 0;
+    /// Packet owning the current allocation (kActive only). The buffer can
+    /// momentarily hold zero of its flits mid-stream, so the fault purge
+    /// cannot infer the owner from the buffer front.
+    PacketSlot cur_packet = kInvalidPacketSlot;
   };
 
   struct OutputVc {
@@ -110,6 +151,9 @@ class Simulator {
 
   struct NicState {
     std::deque<PacketSlot> source_queue;
+    /// Fault-damaged packets awaiting re-injection (Packet::retry_at holds
+    /// each packet's bounded-exponential-backoff deadline).
+    std::deque<PacketSlot> retry_queue;
     PacketSlot streaming = 0;
     bool busy = false;
     std::uint32_t flits_sent = 0;
@@ -129,8 +173,30 @@ class Simulator {
   bool try_allocate(NodeId sw, std::uint32_t in_port, std::uint32_t vc,
                     std::uint64_t now);
 
+  // --- fault machinery (see dsn/sim/fault.hpp) ----------------------------
+  void apply_fault_events(std::uint64_t now);
+  /// Packets with flits in flight on link l or mid-stream across it.
+  void collect_link_packets(LinkId l, std::vector<PacketSlot>& out) const;
+  /// Packets with any flit inside switch s, streaming into it, or mid-stream
+  /// on any of its links (everything a halted switch loses).
+  void collect_switch_packets(NodeId s, std::vector<PacketSlot>& out) const;
+  /// Remove every flit of the given packets from wires, buffers and NIC
+  /// streams, release their allocations, rebuild head_ready bookkeeping, and
+  /// requeue (bounded retries) or drop each packet with accounting. Sorts
+  /// and dedupes `slots` in place. Callers must recompute_credits() after.
+  void purge_packets(std::vector<PacketSlot>& slots, std::uint64_t now,
+                     bool allow_requeue, bool ttl, FaultRecord* record);
+  /// Reset every credit counter exactly from the flow-control invariant:
+  /// free space = buffer_flits - (downstream occupancy + wire in-flight).
+  /// Pending credit returns are flushed (they are part of the recount).
+  void recompute_credits();
+  /// Reset live packets' routing state to the policy's initial state (after
+  /// a rebuild whose state encoding refers to the previous topology).
+  void reset_route_states();
+  EpochStats& epoch_at(std::uint64_t now);
+
   const Topology* topo_;
-  const SimRoutingPolicy* policy_;
+  SimRoutingPolicy* policy_;
   const TrafficPattern* traffic_;
   SimConfig config_;
 
@@ -168,10 +234,34 @@ class Simulator {
   std::vector<TraceEntry> injection_trace_;
   std::size_t trace_cursor_ = 0;
   bool use_trace_ = false;
+
+  // --- live fault state ---------------------------------------------------
+  std::vector<std::uint8_t> link_alive_;    ///< by LinkId
+  std::vector<std::uint8_t> switch_alive_;  ///< by NodeId
+  /// Port of link l at each endpoint: {(node, adjacency port), ...} — needed
+  /// because parallel links (DSN-E Up links) share neighbor node ids.
+  std::vector<std::array<std::pair<NodeId, std::uint32_t>, 2>> link_ports_;
+  FaultSchedule fault_schedule_;
+  std::size_t fault_cursor_ = 0;
+  bool faults_armed_ = false;
+  std::vector<FaultRecord> fault_log_;
+  /// fault_log_ indices of down events awaiting their first post-event
+  /// delivery (time-to-reconnect measurement).
+  std::vector<std::size_t> pending_reconnect_;
+  std::vector<EpochStats> epochs_;
+  std::uint64_t generated_total_ = 0;
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t dropped_total_ = 0;
+  std::uint64_t dropped_ttl_ = 0;
+  std::uint64_t retried_total_ = 0;
+  std::uint64_t flits_dropped_ = 0;
+  std::uint64_t measured_dropped_ = 0;
+  std::uint32_t routing_rebuilds_ = 0;
+  std::vector<PacketSlot> ttl_expired_;  ///< per-cycle scratch
 };
 
 /// Convenience wrapper: run one simulation point.
-SimResult run_simulation(const Topology& topo, const SimRoutingPolicy& policy,
+SimResult run_simulation(const Topology& topo, SimRoutingPolicy& policy,
                          const TrafficPattern& traffic, const SimConfig& config);
 
 }  // namespace dsn

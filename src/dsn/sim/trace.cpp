@@ -40,4 +40,53 @@ std::string format_injection_trace(const std::vector<TraceEntry>& trace) {
   return os.str();
 }
 
+namespace {
+
+FaultKind parse_fault_kind(const std::string& word, std::size_t lineno) {
+  for (const FaultKind kind :
+       {FaultKind::kLinkDown, FaultKind::kLinkUp, FaultKind::kSwitchDown,
+        FaultKind::kSwitchUp}) {
+    if (word == fault_kind_name(kind)) return kind;
+  }
+  DSN_REQUIRE(false, "unknown fault kind '" + word + "' on schedule line " +
+                         std::to_string(lineno));
+  return FaultKind::kLinkDown;  // unreachable
+}
+
+}  // namespace
+
+FaultSchedule parse_fault_schedule(std::istream& is) {
+  FaultSchedule schedule;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t cycle = 0;
+    std::string kind;
+    std::uint32_t id = 0;
+    DSN_REQUIRE(static_cast<bool>(ls >> cycle >> kind >> id),
+                "malformed fault schedule line " + std::to_string(lineno) + ": " + line);
+    schedule.add({cycle, parse_fault_kind(kind, lineno), id});
+  }
+  return schedule;
+}
+
+FaultSchedule parse_fault_schedule_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_fault_schedule(is);
+}
+
+std::string format_fault_schedule(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  os << "# cycle kind link_or_switch_id\n";
+  for (const FaultEvent& e : schedule.events()) {
+    os << e.cycle << " " << fault_kind_name(e.kind) << " " << e.id << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace dsn
+

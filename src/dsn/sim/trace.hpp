@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dsn/common/types.hpp"
+#include "dsn/sim/fault.hpp"
 
 namespace dsn {
 
@@ -25,5 +26,14 @@ std::vector<TraceEntry> parse_injection_trace_text(const std::string& text);
 
 /// Render a trace in the same format.
 std::string format_injection_trace(const std::vector<TraceEntry>& trace);
+
+/// Parse a fault schedule ("cycle kind id" per line with kind one of
+/// link-down, link-up, switch-down, switch-up; '#' comment lines allowed).
+/// Entries are sorted by cycle. Throws on malformed input.
+FaultSchedule parse_fault_schedule(std::istream& is);
+FaultSchedule parse_fault_schedule_text(const std::string& text);
+
+/// Render a schedule in the same format.
+std::string format_fault_schedule(const FaultSchedule& schedule);
 
 }  // namespace dsn

@@ -80,7 +80,7 @@ TEST(DsnBidir, ComparableAsplTo3dTorus) {
 
 TEST(TorusDorPolicySim, DeliversEverything) {
   const Topology topo = make_topology_by_name("torus", 64);
-  const TorusDorPolicy policy(topo, 4);
+  TorusDorPolicy policy(topo, 4);
   UniformTraffic traffic(64 * 4);
   SimConfig cfg;
   cfg.warmup_cycles = 2'000;
@@ -95,7 +95,7 @@ TEST(TorusDorPolicySim, DeliversEverything) {
 
 TEST(TorusDorPolicySim, MinimalHops) {
   const Topology topo = make_topology_by_name("torus", 64);
-  const TorusDorPolicy policy(topo, 4);
+  TorusDorPolicy policy(topo, 4);
   UniformTraffic traffic(64 * 4);
   SimConfig cfg;
   cfg.warmup_cycles = 2'000;
@@ -110,7 +110,7 @@ TEST(TorusDorPolicySim, MinimalHops) {
 
 TEST(TorusDorPolicySim, StressNoDeadlock) {
   const Topology topo = make_topology_by_name("torus", 36);
-  const TorusDorPolicy policy(topo, 4);
+  TorusDorPolicy policy(topo, 4);
   UniformTraffic traffic(36 * 4);
   SimConfig cfg;
   cfg.warmup_cycles = 1'000;

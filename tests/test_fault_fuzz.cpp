@@ -1,0 +1,138 @@
+// Randomized fault drills: sweep (n, schedule, seed) combinations and assert
+// the two properties the recovery layer guarantees for every schedule —
+// packet conservation (injected == delivered + dropped + in-flight at drain)
+// and no deadlock/livelock. Single-link failures on DSN-E must additionally
+// always reconnect (the parallel Up/Down ring links keep the graph
+// connected), so every measured packet is eventually delivered.
+#include <gtest/gtest.h>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/common/rng.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
+#include "dsn/topology/dsn_ext.hpp"
+
+namespace dsn {
+namespace {
+
+SimConfig fuzz_config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1'000;
+  cfg.drain_cycles = 50'000;
+  cfg.offered_gbps_per_host = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_conserved(const SimResult& res, const char* what) {
+  EXPECT_FALSE(res.deadlock) << what;
+  EXPECT_TRUE(res.conservation_ok) << what;
+  EXPECT_EQ(res.packets_generated_total,
+            res.packets_delivered_total + res.packets_dropped +
+                res.packets_in_flight_at_end)
+      << what;
+}
+
+TEST(FaultFuzz, SingleLinkFailuresOnDsnEAlwaysReconnect) {
+  // Any one link of DSN-E leaves the graph connected, so a drill that downs a
+  // random link (sometimes healing it later) must always fully drain with
+  // zero unaccounted packets.
+  for (const std::uint32_t n : {24u, 48u}) {
+    const Topology topo = make_topology_by_name("dsn-e", n);
+    SimRouting routing(topo);
+    AdaptiveUpDownPolicy policy(routing, 4);
+    UniformTraffic traffic(n * 4);
+
+    for (std::uint64_t trial = 0; trial < 6; ++trial) {
+      Rng rng(0xfa017 + trial * 131 + n);
+      const LinkId victim =
+          static_cast<LinkId>(rng.next_below(topo.graph.num_links()));
+      // Keep the failure inside the generation window so it always applies
+      // while traffic is flowing.
+      const std::uint64_t down_at = 100 + rng.next_below(800);
+      FaultSchedule schedule;
+      schedule.link_down(down_at, victim);
+      if (rng.bernoulli(0.5)) schedule.link_up(down_at + 500, victim);
+
+      Simulator sim(topo, policy, traffic, fuzz_config(trial + 1));
+      sim.set_fault_schedule(schedule);
+      const SimResult res = sim.run();
+
+      expect_conserved(res, "dsn-e single link");
+      EXPECT_TRUE(res.drained) << "n=" << n << " trial=" << trial;
+      EXPECT_EQ(res.packets_delivered, res.packets_measured)
+          << "n=" << n << " trial=" << trial << " link=" << victim;
+      ASSERT_FALSE(res.fault_log.empty());
+      EXPECT_TRUE(res.fault_log[0].reconnected)
+          << "n=" << n << " trial=" << trial << " link=" << victim;
+      EXPECT_EQ(res.packets_in_flight_at_end, 0u);
+    }
+  }
+}
+
+TEST(FaultFuzz, RandomFlapSchedulesConservePackets) {
+  const Topology topo = make_topology_by_name("dsn", 32);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(32 * 4);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const FaultSchedule schedule =
+        make_link_flap_schedule(topo, 0.01, 400, 1'200, 6'000, seed);
+    SimConfig cfg = fuzz_config(seed);
+    // Overlapping flaps can transiently disconnect the graph; the TTL guard
+    // converts stranded packets into accounted drops.
+    cfg.packet_ttl_cycles = 5'000;
+    Simulator sim(topo, policy, traffic, cfg);
+    sim.set_fault_schedule(schedule);
+    const SimResult res = sim.run();
+    expect_conserved(res, "flap schedule");
+    EXPECT_TRUE(res.drained) << "seed=" << seed;
+  }
+}
+
+TEST(FaultFuzz, RandomSwitchHaltsConservePackets) {
+  const Topology topo = make_topology_by_name("dsn-e", 24);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(24 * 4);
+
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    Rng rng(0x5a170 + trial);
+    const NodeId victim = static_cast<NodeId>(rng.next_below(24));
+    const std::uint64_t down_at = 200 + rng.next_below(1'000);
+    FaultSchedule schedule;
+    schedule.switch_down(down_at, victim);
+    if (rng.bernoulli(0.5)) schedule.switch_up(down_at + 2'000, victim);
+
+    SimConfig cfg = fuzz_config(trial + 100);
+    cfg.packet_ttl_cycles = 4'000;  // traffic to a halted switch must age out
+    Simulator sim(topo, policy, traffic, cfg);
+    sim.set_fault_schedule(schedule);
+    const SimResult res = sim.run();
+    expect_conserved(res, "switch halt");
+    EXPECT_TRUE(res.drained) << "trial=" << trial << " switch=" << victim;
+  }
+}
+
+TEST(FaultFuzz, NoFaultScheduleMatchesBaselineCounters) {
+  // An armed but empty schedule must not perturb the simulation.
+  const Topology topo = make_topology_by_name("dsn", 32);
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  UniformTraffic traffic(32 * 4);
+
+  const SimResult base = run_simulation(topo, policy, traffic, fuzz_config(9));
+  Simulator sim(topo, policy, traffic, fuzz_config(9));
+  sim.set_fault_schedule(FaultSchedule{});
+  const SimResult armed = sim.run();
+
+  EXPECT_EQ(base.packets_delivered, armed.packets_delivered);
+  EXPECT_DOUBLE_EQ(base.avg_latency_ns, armed.avg_latency_ns);
+  EXPECT_TRUE(armed.conservation_ok);
+  EXPECT_TRUE(armed.fault_log.empty());
+}
+
+}  // namespace
+}  // namespace dsn

@@ -86,5 +86,90 @@ TEST(Faults, RejectsBadFraction) {
   EXPECT_THROW(evaluate_switch_faults(topo, -0.1, 1, 1), PreconditionError);
 }
 
+// --------------------------------------------------------------------------
+// subset_path_stats: the MS-BFS/CSR rewrite must agree with a brute-force
+// per-source BFS on every input class (node faults, non-multiple-of-64 sizes,
+// disconnected survivors).
+// --------------------------------------------------------------------------
+
+SubsetPathStats brute_force_stats(const Graph& g, const std::vector<std::uint8_t>& alive) {
+  SubsetPathStats out;
+  std::uint64_t alive_count = 0;
+  for (const auto a : alive) alive_count += a;
+  if (alive_count <= 1) {
+    out.connected = true;
+    return out;
+  }
+  std::uint64_t pairs = 0, total = 0;
+  std::uint32_t diameter = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!alive[s]) continue;
+    const auto dist = bfs_distances(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (!alive[t] || t == s) continue;
+      if (dist[t] == kUnreachable) return out;
+      total += dist[t];
+      diameter = std::max(diameter, dist[t]);
+      ++pairs;
+    }
+  }
+  out.connected = true;
+  out.diameter = diameter;
+  out.aspl = static_cast<double>(total) / static_cast<double>(pairs);
+  return out;
+}
+
+TEST(SubsetPathStats, MatchesBruteForceWithNodeFaults) {
+  // 100 nodes: exercises the partial last MS-BFS batch (100 % 64 != 0).
+  const Topology topo = make_topology_by_name("random", 100, 7);
+  std::vector<std::uint8_t> alive(100, 1);
+  alive[3] = alive[41] = alive[99] = 0;
+  const auto fast = subset_path_stats(topo.graph, alive);
+  const auto slow = brute_force_stats(topo.graph, alive);
+  EXPECT_EQ(fast.connected, slow.connected);
+  EXPECT_EQ(fast.diameter, slow.diameter);
+  EXPECT_NEAR(fast.aspl, slow.aspl, 1e-12);
+}
+
+TEST(SubsetPathStats, DisconnectedReportsZeros) {
+  const Topology ring = make_ring(16);
+  const Graph cut = remove_links(ring.graph, {0, 8});  // splits the cycle
+  const std::vector<std::uint8_t> alive(16, 1);
+  const auto s = subset_path_stats(cut, alive);
+  EXPECT_FALSE(s.connected);
+  EXPECT_EQ(s.diameter, 0u);
+  EXPECT_DOUBLE_EQ(s.aspl, 0.0);
+}
+
+TEST(SubsetPathStats, SingleSurvivorIsTriviallyConnected) {
+  const Topology ring = make_ring(8);
+  std::vector<std::uint8_t> alive(8, 0);
+  alive[5] = 1;
+  const auto s = subset_path_stats(ring.graph, alive);
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 0u);
+}
+
+TEST(Faults, SwitchFaultsDeterministicForSeed) {
+  const Topology topo = make_topology_by_name("random", 96, 5);
+  const auto a = evaluate_switch_faults(topo, 0.05, 6, 42);
+  const auto b = evaluate_switch_faults(topo, 0.05, 6, 42);
+  EXPECT_EQ(a.connected_trials, b.connected_trials);
+  EXPECT_DOUBLE_EQ(a.avg_aspl, b.avg_aspl);
+  EXPECT_DOUBLE_EQ(a.avg_diameter, b.avg_diameter);
+}
+
+TEST(Faults, DifferentSeedsSampleDifferentFaultSets) {
+  // Statistical, not strict: across ten fractions at least one must differ.
+  const Topology topo = make_topology_by_name("dsn", 128);
+  bool any_diff = false;
+  for (std::uint64_t s = 0; s < 10 && !any_diff; ++s) {
+    const auto a = evaluate_link_faults(topo, 0.06, 4, s);
+    const auto b = evaluate_link_faults(topo, 0.06, 4, s + 1000);
+    any_diff = a.avg_aspl != b.avg_aspl || a.connected_trials != b.connected_trials;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
 }  // namespace
 }  // namespace dsn

@@ -14,6 +14,9 @@
 //                         minimal deadlock-cycle witness when cyclic
 //   dsn-lint load ...     static per-channel load (max/mean/Gini) and the
 //                         uniform-traffic throughput upper bound 1/max_load
+//   dsn-lint drill ...    live fault drill on the flit simulator: down a
+//                         link/switch (or flap links) mid-run and verify the
+//                         network recovers with exact packet accounting
 // Subcommands exit 0 when every checked property holds, 1 when a property is
 // refuted, and 2 on usage or internal errors.
 //
@@ -25,10 +28,13 @@
 //   dsn-lint routes --topology dsn --x 2 --n 512 --strict
 //   dsn-lint cdg --topology dsn-v --n 512 --json
 //   dsn-lint load --topology dsn-e --n 512
+//   dsn-lint drill --topology dsn-e --n 48 --fail-link auto --heal-at 1500
+//   dsn-lint drill --topology dsn --n 64 --fail-switch 7 --ttl 4000 --json
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +44,8 @@
 #include "dsn/common/cli.hpp"
 #include "dsn/common/json.hpp"
 #include "dsn/common/math.hpp"
+#include "dsn/routing/sim_routing.hpp"
+#include "dsn/sim/simulator.hpp"
 #include "dsn/topology/dsn.hpp"
 #include "dsn/topology/dsn_ext.hpp"
 #include "dsn/topology/io.hpp"
@@ -233,6 +241,199 @@ int run_analysis_command(const std::string& cmd, int argc, const char* const* ar
   return violations.empty() ? kExitClean : kExitViolations;
 }
 
+// ---------------------------------------------------------------------------
+// Fault drill subcommand
+// ---------------------------------------------------------------------------
+
+/// A non-ring ("shortcut") link, or link 0 when every link is a ring hop.
+dsn::LinkId auto_shortcut_link(const dsn::Topology& topo) {
+  const dsn::Graph& g = topo.graph;
+  const dsn::NodeId n = g.num_nodes();
+  for (dsn::LinkId l = 0; l < g.num_links(); ++l) {
+    const auto [u, v] = g.link_endpoints(l);
+    const dsn::NodeId gap = u < v ? v - u : u - v;
+    if (gap != 1 && gap != n - 1) return l;
+  }
+  return 0;
+}
+
+int run_drill_command(int argc, const char* const* argv) {
+  dsn::Cli cli(
+      "dsn-lint drill: deterministic live-fault drill on the flit simulator "
+      "(exit 0 = recovered with exact packet accounting, 1 = a recovery "
+      "property was refuted, 2 = usage/internal error)");
+  cli.add_flag("topology", "dsn",
+               "factory name (dsn, dsn-e, dsn-d, dsn-bidir, torus, ring, ...)");
+  cli.add_flag("n", "64", "node count");
+  cli.add_flag("policy", "adaptive",
+               "adaptive (minimal + up*/down* escape), updown, or custom "
+               "(DSN three-phase routing; --topology dsn only)");
+  cli.add_flag("load", "1.0", "offered load [Gb/s per host]");
+  cli.add_flag("seed", "1", "traffic seed (same seed + schedule => same run)");
+  cli.add_flag("measure", "2000", "measurement window [cycles]");
+  cli.add_flag("drain", "60000", "drain budget after the window [cycles]");
+  cli.add_flag("fail-link", "auto",
+               "link to down at --fail-at: a link id, 'auto' (first shortcut "
+               "link), or 'none'");
+  cli.add_flag("fail-at", "500", "cycle of the link-down event");
+  cli.add_flag("heal-at", "0", "cycle of the link repair (0 = never heals)");
+  cli.add_flag("fail-switch", "none", "switch to halt: a node id or 'none'");
+  cli.add_flag("switch-fail-at", "800", "cycle of the switch halt");
+  cli.add_flag("switch-heal-at", "0", "cycle of the switch revival (0 = never)");
+  cli.add_flag("flap-prob", "0",
+               "per-interval Bernoulli link-flap probability (0 = no flapping)");
+  cli.add_flag("flap-interval", "400", "flap model check interval [cycles]");
+  cli.add_flag("flap-repair", "1500", "flap model repair time [cycles]");
+  cli.add_flag("epoch", "500", "degradation-curve bucket width [cycles] (0 = off)");
+  cli.add_flag("ttl", "0",
+               "packet time-to-live [cycles] (0 = off; required for switch "
+               "faults that never heal)");
+  cli.add_flag("retries", "8", "max per-packet fault retries before dropping");
+  cli.add_flag("no-recovery", "false",
+               "negative control: neither rebuild routing nor retry on faults");
+  cli.add_flag("json", "false", "emit the degradation curve as JSON");
+
+  if (!cli.parse(argc, argv)) return kExitClean;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
+  const std::string tname = cli.get("topology");
+  const std::string pname = cli.get("policy");
+
+  // Keep whichever routing substrate the policy needs alive for the run.
+  dsn::Topology topo;
+  std::unique_ptr<dsn::Dsn> dsn_struct;
+  std::unique_ptr<dsn::SimRouting> routing;
+  std::unique_ptr<dsn::SimRoutingPolicy> policy;
+  if (pname == "custom") {
+    if (tname != "dsn") {
+      std::cerr << "dsn-lint drill: --policy custom requires --topology dsn\n";
+      return kExitUsage;
+    }
+    dsn_struct = std::make_unique<dsn::Dsn>(n, dsn::dsn_default_x(n));
+    topo = dsn_struct->topology();
+    policy = std::make_unique<dsn::DsnCustomPolicy>(*dsn_struct);
+  } else {
+    topo = dsn::make_topology_by_name(tname, n, cli.get_uint("seed"));
+    routing = std::make_unique<dsn::SimRouting>(topo);
+    if (pname == "adaptive") {
+      policy = std::make_unique<dsn::AdaptiveUpDownPolicy>(*routing, 4);
+    } else if (pname == "updown") {
+      policy = std::make_unique<dsn::UpDownOnlyPolicy>(*routing, 4);
+    } else {
+      std::cerr << "dsn-lint drill: unknown policy '" << pname << "'\n";
+      return kExitUsage;
+    }
+  }
+
+  dsn::SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = cli.get_uint("measure");
+  cfg.drain_cycles = cli.get_uint("drain");
+  cfg.offered_gbps_per_host = cli.get_double("load");
+  cfg.seed = cli.get_uint("seed");
+  cfg.epoch_cycles = cli.get_uint("epoch");
+  cfg.packet_ttl_cycles = cli.get_uint("ttl");
+  cfg.max_retries = static_cast<std::uint32_t>(cli.get_uint("retries"));
+  if (cli.get_bool("no-recovery")) {
+    cfg.rebuild_routing_on_fault = false;
+    cfg.retry_on_fault = false;
+  }
+
+  dsn::FaultSchedule schedule;
+  const std::string fail_link = cli.get("fail-link");
+  if (fail_link != "none") {
+    const dsn::LinkId victim = fail_link == "auto"
+                                   ? auto_shortcut_link(topo)
+                                   : static_cast<dsn::LinkId>(std::stoul(fail_link));
+    schedule.link_down(cli.get_uint("fail-at"), victim);
+    if (cli.get_uint("heal-at") != 0) schedule.link_up(cli.get_uint("heal-at"), victim);
+  }
+  const std::string fail_switch = cli.get("fail-switch");
+  if (fail_switch != "none") {
+    const auto victim = static_cast<dsn::NodeId>(std::stoul(fail_switch));
+    schedule.switch_down(cli.get_uint("switch-fail-at"), victim);
+    if (cli.get_uint("switch-heal-at") != 0)
+      schedule.switch_up(cli.get_uint("switch-heal-at"), victim);
+  }
+  const double flap_prob = cli.get_double("flap-prob");
+  if (flap_prob > 0.0) {
+    const dsn::FaultSchedule flaps = dsn::make_link_flap_schedule(
+        topo, flap_prob, cli.get_uint("flap-interval"), cli.get_uint("flap-repair"),
+        cfg.measure_cycles, cli.get_uint("seed"));
+    for (const dsn::FaultEvent& ev : flaps.events()) schedule.add(ev);
+  }
+
+  dsn::UniformTraffic traffic(topo.num_nodes() * cfg.hosts_per_switch);
+  dsn::Simulator sim(topo, *policy, traffic, cfg);
+  sim.set_fault_schedule(schedule);
+  const dsn::SimResult res = sim.run();
+
+  std::vector<AnalysisViolation> violations;
+  if (res.deadlock)
+    violations.push_back({"sim-deadlock", "watchdog fired: no progress with flits in flight"});
+  if (!res.conservation_ok)
+    violations.push_back(
+        {"packet-conservation",
+         "generated != delivered + dropped + in-flight at drain (unaccounted packets)"});
+  if (!res.drained && !res.deadlock)
+    violations.push_back({"not-drained",
+                          "measured packets neither delivered nor dropped within the "
+                          "drain budget"});
+  for (const dsn::FaultRecord& rec : res.fault_log) {
+    const bool down = rec.event.kind == dsn::FaultKind::kLinkDown ||
+                      rec.event.kind == dsn::FaultKind::kSwitchDown;
+    if (down && !rec.reconnected) {
+      violations.push_back(
+          {"no-reconnect", std::string(dsn::fault_kind_name(rec.event.kind)) + " " +
+                               std::to_string(rec.event.id) + " at cycle " +
+                               std::to_string(rec.event.cycle) +
+                               ": no packet delivered afterwards"});
+    }
+  }
+
+  if (cli.get_bool("json")) {
+    dsn::Json doc = dsn::Json::object();
+    doc.set("command", "drill");
+    doc.set("topology", tname + "-" + std::to_string(n));
+    doc.set("policy", policy->name());
+    doc.set("schedule_events", static_cast<std::uint64_t>(schedule.size()));
+    doc.set("result", dsn::to_json(res));
+    doc.set("degradation_curve", dsn::degradation_curve_json(res));
+    dsn::Json vs = dsn::Json::array();
+    for (const AnalysisViolation& v : violations) {
+      dsn::Json jv = dsn::Json::object();
+      jv.set("kind", v.kind);
+      jv.set("message", v.message);
+      vs.push_back(std::move(jv));
+    }
+    doc.set("violations", std::move(vs));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    std::cout << "drill " << tname << "-" << n << " [policy=" << policy->name()
+              << ", " << schedule.size() << " fault events]\n"
+              << "  generated " << res.packets_generated_total << ", delivered "
+              << res.packets_delivered_total << ", dropped " << res.packets_dropped
+              << " (ttl " << res.packets_dropped_ttl << "), retried "
+              << res.packets_retried << ", in flight at end "
+              << res.packets_in_flight_at_end << "\n"
+              << "  flits dropped " << res.flits_dropped << ", routing rebuilds "
+              << res.routing_rebuilds << ", cycles " << res.cycles_run << "\n";
+    for (const dsn::FaultRecord& rec : res.fault_log) {
+      std::cout << "  event " << dsn::fault_kind_name(rec.event.kind) << " "
+                << rec.event.id << " @" << rec.event.cycle << ": requeued "
+                << rec.packets_requeued << ", dropped " << rec.packets_dropped;
+      if (rec.reconnected)
+        std::cout << ", reconnected in " << rec.reconnect_cycles << " cycles";
+      std::cout << "\n";
+    }
+    for (const AnalysisViolation& v : violations)
+      std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
+    std::cout << "dsn-lint drill: " << (violations.empty() ? "PASS" : "FAIL") << " ("
+              << violations.size() << " violations)\n";
+  }
+  return violations.empty() ? kExitClean : kExitViolations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +445,14 @@ int main(int argc, char** argv) {
         return run_analysis_command(cmd, argc - 1, argv + 1);
       } catch (const std::exception& e) {
         std::cerr << "dsn-lint " << cmd << ": " << e.what() << "\n";
+        return kExitUsage;
+      }
+    }
+    if (cmd == "drill") {
+      try {
+        return run_drill_command(argc - 1, argv + 1);
+      } catch (const std::exception& e) {
+        std::cerr << "dsn-lint drill: " << e.what() << "\n";
         return kExitUsage;
       }
     }
