@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
         .cell(sweeps[0][i].avg_cable_m)
         .cell(sweeps[1][i].avg_cable_m)
         .cell(sweeps[2][i].avg_cable_m)
-        .cell("-" + std::to_string(static_cast<int>(reduction + 0.5)) + "%");
+        .cell(std::string("-")
+                  .append(std::to_string(static_cast<int>(reduction + 0.5)))
+                  .append("%"));
   }
   table.print(std::cout, "Figure 9: Average cable length vs network size");
   if (!cli.get("csv").empty()) {

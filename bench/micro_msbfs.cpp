@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include "dsn/graph/csr.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/graph/msbfs.hpp"
+#include "dsn/obs/obs.hpp"
 
 namespace {
 
@@ -107,7 +109,29 @@ int main(int argc, char** argv) {
   cli.add_flag("check", "true", "verify MS-BFS PathStats match the baseline exactly");
   cli.add_flag("json", "", "also write the JSON report to this path");
   cli.add_flag("seed", "1", "topology construction seed");
+  cli.add_flag("threads", "0", "worker threads for the shared pool (0 = auto)");
+  cli.add_flag("trace", "",
+               "write a Chrome-trace JSON of the run (per-shard MS-BFS spans; "
+               "view at ui.perfetto.dev)");
   if (!cli.parse(argc, argv)) return 0;
+
+  // The shared pool is created on first use; pin its size before anything
+  // below can touch it so the JSON header reports the worker count that
+  // actually ran the sweep.
+  if (const std::uint64_t threads = cli.get_uint("threads"); threads > 0)
+    ::setenv("DSN_THREADS", std::to_string(threads).c_str(), /*overwrite=*/1);
+
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) {
+#if DSN_OBS
+    dsn::obs::set_metrics_enabled(true);
+    dsn::obs::start_trace();
+#else
+    std::cerr << "micro_msbfs: --trace needs a DSN_OBS=1 build "
+                 "(instrumentation is compiled out)\n";
+    return 2;
+#endif
+  }
 
   const auto repeat = std::max<std::uint64_t>(1, cli.get_uint("repeat"));
   const bool run_legacy = cli.get_bool("legacy");
@@ -206,6 +230,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+#if DSN_OBS
+  if (!trace_path.empty() && dsn::obs::stop_trace(trace_path))
+    std::cerr << "wrote Chrome trace to " << trace_path
+              << " (open at ui.perfetto.dev)\n";
+#endif
   if (!all_ok) {
     std::cerr << "PathStats mismatch between MS-BFS and the baseline\n";
     return 1;

@@ -1,8 +1,19 @@
 // Google-benchmark microbenchmark: simulator throughput in simulated cycles
 // per second at a moderate load on the paper's 64-switch configuration.
+//
+// Supplies its own main so `--trace out.json` can be peeled off before the
+// remaining flags go to the google-benchmark runner; with it, the whole
+// benchmark run is captured as a Chrome trace (sim.run spans, channel
+// occupancy counter tracks — view at ui.perfetto.dev).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "dsn/analysis/factory.hpp"
+#include "dsn/obs/obs.hpp"
 #include "dsn/routing/sim_routing.hpp"
 #include "dsn/sim/simulator.hpp"
 
@@ -30,3 +41,45 @@ void BM_SimulatorCycles(benchmark::State& state) {
 BENCHMARK(BM_SimulatorCycles)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off --trace <path> / --trace=<path> before google-benchmark sees the
+  // argument list (it rejects flags it does not know).
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+
+  if (!trace_path.empty()) {
+#if DSN_OBS
+    dsn::obs::set_metrics_enabled(true);
+    dsn::obs::start_trace();
+#else
+    std::cerr << "micro_sim: --trace needs a DSN_OBS=1 build "
+                 "(instrumentation is compiled out)\n";
+    return 2;
+#endif
+  }
+
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+#if DSN_OBS
+  if (!trace_path.empty() && dsn::obs::stop_trace(trace_path))
+    std::cerr << "wrote Chrome trace to " << trace_path
+              << " (open at ui.perfetto.dev)\n";
+#endif
+  return 0;
+}

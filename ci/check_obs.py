@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI shape gate for the dsn::obs observability surface.
+
+Checks machine-readable outputs against the committed ci/obs_schema.json:
+
+  * `dsn-lint stats --json` (--stats): top-level key set, stage names and
+    order, required metric names and kinds, counters monotone across stage
+    snapshots, no violations.
+  * `micro_msbfs --json` (--msbfs): report header/row key sets, the MS-BFS
+    batch width, and the real worker count in the header
+    (--expect-threads pins it when the run passed --threads N).
+  * Chrome traces (--trace, repeatable; --drill-trace additionally requires
+    the fault-drill span names): valid JSON, per-tid balanced B/E pairs,
+    known phase letters, counter samples numeric, pool workers named.
+
+Exits 1 listing every failed check — never just the first — so a CI log
+shows the whole shape drift at once.
+"""
+import argparse
+import collections
+import json
+import sys
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot load JSON: {e}")
+        return None
+
+
+def check_stats(path, schema):
+    report = load(path)
+    if report is None:
+        return
+    if sorted(report) != sorted(schema["top_keys"]):
+        fail(f"{path}: top-level keys {sorted(report)} != {sorted(schema['top_keys'])}")
+        return
+    if report["obs_enabled"] is not True:
+        fail(f"{path}: obs_enabled is {report['obs_enabled']}, expected true")
+    if report["violations"]:
+        fail(f"{path}: dsn-lint reported violations: {report['violations']}")
+
+    stage_names = [s["stage"] for s in report["stages"]]
+    if stage_names != schema["stages"]:
+        fail(f"{path}: stages {stage_names} != {schema['stages']}")
+
+    final = {m["name"]: m for m in report["metrics"]}
+    for name, kind in schema["required_metrics"].items():
+        if name not in final:
+            fail(f"{path}: required metric {name} missing from final snapshot")
+        elif final[name]["kind"] != kind:
+            fail(f"{path}: metric {name} has kind {final[name]['kind']}, expected {kind}")
+
+    # Counters must be non-decreasing from stage to stage: a drop means a
+    # snapshot raced a reset or the shard merge lost a shard.
+    monotone = set(schema["monotone_kinds"])
+    previous = {}
+    for stage in report["stages"]:
+        for m in stage["metrics"]:
+            if m["kind"] not in monotone:
+                continue
+            before = previous.get(m["name"], 0)
+            if m["value"] < before:
+                fail(f"{path}: counter {m['name']} fell {before} -> {m['value']} "
+                     f"entering stage {stage['stage']}")
+            previous[m["name"]] = m["value"]
+
+
+def check_msbfs(path, schema, expect_threads):
+    report = load(path)
+    if report is None:
+        return
+    if sorted(report) != sorted(schema["top_keys"]):
+        fail(f"{path}: top-level keys {sorted(report)} != {sorted(schema['top_keys'])}")
+        return
+    if report["batch"] != schema["batch"]:
+        fail(f"{path}: batch {report['batch']} != {schema['batch']}")
+    threads = report["threads"]
+    if not isinstance(threads, int) or threads < 1:
+        fail(f"{path}: threads header {threads!r} is not a positive integer")
+    if expect_threads is not None and threads != expect_threads:
+        fail(f"{path}: threads header {threads} != --threads {expect_threads} "
+             "the bench was invoked with")
+    if not report["results"]:
+        fail(f"{path}: empty results array")
+    for row in report["results"]:
+        missing = [k for k in schema["row_keys"] if k not in row]
+        if missing:
+            fail(f"{path}: result row for {row.get('topology')} missing {missing}")
+        if row.get("check") != "ok":
+            fail(f"{path}: row {row.get('topology')} check={row.get('check')!r}")
+
+
+def check_trace(path, schema, required_spans):
+    doc = load(path)
+    if doc is None:
+        return
+    events = doc.get("traceEvents")
+    if not events:
+        fail(f"{path}: no traceEvents")
+        return
+
+    known = set(schema["phases"])
+    depth = collections.defaultdict(int)
+    span_names = set()
+    thread_names = []
+    for e in events:
+        ph = e.get("ph")
+        if ph not in known:
+            fail(f"{path}: unknown phase {ph!r} in event {e.get('name')!r}")
+        if ph in ("B", "X"):
+            span_names.add(e["name"])
+        if ph == "B":
+            depth[e["tid"]] += 1
+        elif ph == "E":
+            depth[e["tid"]] -= 1
+            if depth[e["tid"]] < 0:
+                fail(f"{path}: E without matching B on tid {e['tid']} "
+                     f"({e.get('name')!r})")
+                depth[e["tid"]] = 0
+        elif ph == "C" and not isinstance(e.get("args", {}).get("value"), (int, float)):
+            fail(f"{path}: counter sample {e.get('name')!r} has no numeric args.value")
+        elif ph == "M" and e.get("name") == "thread_name":
+            thread_names.append(e.get("args", {}).get("name", ""))
+
+    for tid, d in sorted(depth.items()):
+        if d != 0:
+            fail(f"{path}: {d} unclosed span(s) on tid {tid}")
+    for name in required_spans:
+        if name not in span_names:
+            fail(f"{path}: required span {name!r} never emitted "
+                 f"(saw {sorted(span_names)})")
+    prefix = schema["required_thread_name_prefix"]
+    if not any(n.startswith(prefix) for n in thread_names):
+        fail(f"{path}: no thread named {prefix}* (saw {thread_names})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", required=True)
+    parser.add_argument("--stats", help="dsn-lint stats --json output")
+    parser.add_argument("--msbfs", help="micro_msbfs --json output")
+    parser.add_argument("--expect-threads", type=int,
+                        help="worker count the msbfs bench was pinned to")
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome trace to balance-check (repeatable)")
+    parser.add_argument("--drill-trace", action="append", default=[],
+                        help="fault-drill Chrome trace (also requires drill spans)")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    if args.stats:
+        check_stats(args.stats, schema["stats"])
+    if args.msbfs:
+        check_msbfs(args.msbfs, schema["msbfs"], args.expect_threads)
+    for path in args.trace:
+        check_trace(path, schema["trace"], [])
+    for path in args.drill_trace:
+        check_trace(path, schema["trace"], schema["trace"]["required_drill_spans"])
+
+    if errors:
+        print(f"obs-gate: {len(errors)} check(s) failed", file=sys.stderr)
+        for e in errors:
+            print(f"  FAIL {e}", file=sys.stderr)
+        return 1
+    print("obs-gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

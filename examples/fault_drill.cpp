@@ -11,6 +11,7 @@
 //
 //   ./examples/example_fault_drill --topology dsn --n 256 --trials 20
 //   ./examples/example_fault_drill --n 64 --live-n 48 --json
+//   ./examples/example_fault_drill --n 64 --trace drill-trace.json
 #include <iostream>
 
 #include "dsn/analysis/factory.hpp"
@@ -19,6 +20,7 @@
 #include "dsn/common/table.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/graph/paths.hpp"
+#include "dsn/obs/obs.hpp"
 #include "dsn/routing/sim_routing.hpp"
 #include "dsn/sim/simulator.hpp"
 
@@ -95,7 +97,22 @@ int main(int argc, char** argv) {
   cli.add_flag("live", "true", "also run the live simulator drill");
   cli.add_flag("live-n", "48", "switch count for the live drill (DSN-E)");
   cli.add_flag("json", "false", "print the live drill's degradation-curve JSON");
+  cli.add_flag("trace", "",
+               "write a Chrome-trace JSON of the whole run (fault-recovery "
+               "spans, sim counter tracks; view at ui.perfetto.dev)");
   if (!cli.parse(argc, argv)) return 0;
+
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) {
+#if DSN_OBS
+    dsn::obs::set_metrics_enabled(true);
+    dsn::obs::start_trace();
+#else
+    std::cerr << "fault_drill: --trace needs a DSN_OBS=1 build "
+                 "(instrumentation is compiled out)\n";
+    return 2;
+#endif
+  }
 
   const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
   const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials"));
@@ -135,5 +152,11 @@ int main(int argc, char** argv) {
   if (cli.get_bool("live"))
     run_live_drill(static_cast<std::uint32_t>(cli.get_uint("live-n")),
                    cli.get_bool("json"));
+
+#if DSN_OBS
+  if (!trace_path.empty() && dsn::obs::stop_trace(trace_path))
+    std::cout << "\nwrote Chrome trace to " << trace_path
+              << " (open at ui.perfetto.dev)\n";
+#endif
   return 0;
 }

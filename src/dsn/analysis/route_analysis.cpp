@@ -11,9 +11,27 @@
 #include "dsn/routing/dor.hpp"
 #include "dsn/routing/dsn_routing.hpp"
 #include "dsn/routing/greedy.hpp"
+#include "dsn/obs/obs.hpp"
 #include "dsn/routing/updown.hpp"
 
 namespace dsn::analyze {
+
+#if DSN_OBS
+namespace {
+
+struct AnalysisMetrics {
+  obs::MetricId routes = obs::MetricsRegistry::global().counter("dsn.analysis.routes_checked");
+  obs::MetricId shard_ns = obs::MetricsRegistry::global().counter("dsn.analysis.shard_ns");
+  obs::MetricId shards_run = obs::MetricsRegistry::global().counter("dsn.analysis.shards");
+
+  static const AnalysisMetrics& get() {
+    static AnalysisMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+#endif  // DSN_OBS
 
 const char* to_string(RoutingFamily family) {
   switch (family) {
@@ -88,13 +106,18 @@ RouteAnalysis analyze_route_function(
       std::max<std::size_t>(1, std::min<std::size_t>(n, 4 * pool.size()));
   std::vector<Shard> shards(num_shards);
 
+  DSN_OBS_SPAN("analysis.route_sweep");
   pool.parallel_for(0, num_shards, [&](std::size_t k) {
+    DSN_OBS_TIMER(AnalysisMetrics::get().shard_ns,
+                  AnalysisMetrics::get().shards_run);
     Shard& sh = shards[k];
     sh.stamp.assign(n, 0);
     std::vector<NodeId> path;
     path.reserve(64);
     const NodeId begin = static_cast<NodeId>(k * n / num_shards);
     const NodeId end = static_cast<NodeId>((k + 1) * n / num_shards);
+    DSN_OBS_ADD(AnalysisMetrics::get().routes,
+                static_cast<std::uint64_t>(end - begin) * (n - 1));
     for (NodeId s = begin; s < end; ++s) {
       for (NodeId t = 0; t < n; ++t) {
         if (s == t) continue;
@@ -410,7 +433,9 @@ std::string channel_class_name(ChannelScheme scheme, std::uint8_t cls) {
       default: break;
     }
   }
-  return "c" + std::to_string(cls);
+  std::string name = "c";
+  name += std::to_string(cls);
+  return name;
 }
 
 std::string render_channel(const Topology& topo, const Channel& c, ChannelScheme scheme) {

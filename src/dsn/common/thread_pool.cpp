@@ -1,17 +1,40 @@
 #include "dsn/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "dsn/common/error.hpp"
+#include "dsn/obs/obs.hpp"
 
 namespace dsn {
+
+#if DSN_OBS
+namespace {
+
+/// Pool-wide metric ids, registered once. All pools share the metrics — the
+/// process has one global pool in practice, and tests that build private
+/// pools fold into the same counters by design.
+struct PoolMetrics {
+  obs::MetricId queue_depth = obs::MetricsRegistry::global().gauge("dsn.pool.queue_depth");
+  obs::MetricId tasks_executed = obs::MetricsRegistry::global().counter("dsn.pool.tasks_executed");
+  obs::MetricId task_ns = obs::MetricsRegistry::global().counter("dsn.pool.task_ns");
+
+  static const PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+#endif  // DSN_OBS
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -28,6 +51,8 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
     tasks_.push(std::move(task));
+    DSN_OBS_GAUGE_SET(PoolMetrics::get().queue_depth,
+                      static_cast<std::int64_t>(tasks_.size()));
   }
   cv_task_.notify_one();
 }
@@ -38,6 +63,8 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
   {
     std::unique_lock lock(mutex_);
     for (auto& task : tasks) tasks_.push(std::move(task));
+    DSN_OBS_GAUGE_SET(PoolMetrics::get().queue_depth,
+                      static_cast<std::int64_t>(tasks_.size()));
   }
   if (count == 1) {
     cv_task_.notify_one();
@@ -63,8 +90,13 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   t_current_pool = this;
+  DSN_OBS_ONLY(
+      obs::set_current_thread_name("pool-worker-" + std::to_string(index));)
+#if !DSN_OBS
+  (void)index;
+#endif
   for (;;) {
     std::function<void()> task;
     {
@@ -73,9 +105,16 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      DSN_OBS_GAUGE_SET(PoolMetrics::get().queue_depth,
+                        static_cast<std::int64_t>(tasks_.size()));
       ++active_;
     }
-    task();
+    {
+      DSN_OBS_TIMER(PoolMetrics::get().task_ns,
+                    PoolMetrics::get().tasks_executed);
+      DSN_OBS_SPAN("pool.task");
+      task();
+    }
     {
       std::unique_lock lock(mutex_);
       --active_;
@@ -136,7 +175,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // DSN_THREADS pins the worker count (benches use it to report honest
+  // thread numbers); unset or invalid falls back to hardware_concurrency.
+  static ThreadPool pool([] {
+    const char* env = std::getenv("DSN_THREADS");
+    if (env == nullptr) return std::size_t{0};
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : std::size_t{0};
+  }());
   return pool;
 }
 

@@ -46,11 +46,12 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Shared process-wide pool (lazily constructed, hardware_concurrency workers).
+  /// Shared process-wide pool (lazily constructed; worker count from the
+  /// DSN_THREADS environment variable when set, else hardware_concurrency).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

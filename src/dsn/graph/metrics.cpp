@@ -6,8 +6,26 @@
 
 #include "dsn/common/thread_pool.hpp"
 #include "dsn/graph/msbfs.hpp"
+#include "dsn/obs/obs.hpp"
 
 namespace dsn {
+
+#if DSN_OBS
+namespace {
+
+struct GraphMetrics {
+  obs::MetricId batches = obs::MetricsRegistry::global().counter("dsn.graph.msbfs_batches");
+  obs::MetricId shard_ns = obs::MetricsRegistry::global().counter("dsn.graph.msbfs_shard_ns");
+  obs::MetricId shards_run = obs::MetricsRegistry::global().counter("dsn.graph.msbfs_shards");
+
+  static const GraphMetrics& get() {
+    static GraphMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+#endif  // DSN_OBS
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
   DSN_REQUIRE(src < g.num_nodes(), "source out of range");
@@ -101,12 +119,16 @@ PathStats compute_path_stats(const CsrView& csr) {
   // Per-shard hop histograms; every other statistic folds out of them.
   std::vector<std::vector<std::uint64_t>> hists(plan.shards);
 
+  DSN_OBS_SPAN("graph.path_stats");
   pool.parallel_for(0, plan.shards, [&](std::size_t k) {
+    DSN_OBS_TIMER(GraphMetrics::get().shard_ns, GraphMetrics::get().shards_run);
     MsBfsScratch scratch;
     std::vector<NodeId> sources;
     std::vector<std::uint64_t>& hist = hists[k];
     const std::size_t begin = k * plan.batches / plan.shards;
     const std::size_t end = (k + 1) * plan.batches / plan.shards;
+    DSN_OBS_ADD(GraphMetrics::get().batches,
+                static_cast<std::uint64_t>(end - begin));
     for (std::size_t b = begin; b < end; ++b) {
       const auto [lo, hi] = batch_span(b, n);
       sources.resize(hi - lo);
@@ -154,11 +176,15 @@ std::vector<std::uint32_t> eccentricities(const CsrView& csr) {
   const BatchPlan plan = plan_batches(n, pool.size());
 
   // Shards own disjoint source ranges, so they write disjoint ecc entries.
+  DSN_OBS_SPAN("graph.eccentricities");
   pool.parallel_for(0, plan.shards, [&](std::size_t k) {
+    DSN_OBS_TIMER(GraphMetrics::get().shard_ns, GraphMetrics::get().shards_run);
     MsBfsScratch scratch;
     std::vector<NodeId> sources;
     const std::size_t begin = k * plan.batches / plan.shards;
     const std::size_t end = (k + 1) * plan.batches / plan.shards;
+    DSN_OBS_ADD(GraphMetrics::get().batches,
+                static_cast<std::uint64_t>(end - begin));
     for (std::size_t b = begin; b < end; ++b) {
       const auto [lo, hi] = batch_span(b, n);
       sources.resize(hi - lo);

@@ -1,0 +1,281 @@
+#include "dsn/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSnapshot* Snapshot::find(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool env_enables_obs() {
+  const char* v = std::getenv("DSN_OBS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enables_obs()};
+  return flag;
+}
+
+}  // namespace
+
+bool metrics_on() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : overflow_shard_(kMaxSlots),
+      gauges_(std::make_unique<GaugeCell[]>(kMaxMetrics)) {
+  descriptors_.reserve(kMaxMetrics);
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    overflow_shard_.slots[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  return register_metric(name, MetricKind::kCounter, {});
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name) {
+  return register_metric(name, MetricKind::kGauge, {});
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name,
+                                    std::vector<std::uint64_t> bounds) {
+  DSN_REQUIRE(!bounds.empty(), "histogram needs at least one bucket bound");
+  DSN_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                  std::adjacent_find(bounds.begin(), bounds.end()) == bounds.end(),
+              "histogram bounds must be strictly ascending");
+  return register_metric(name, MetricKind::kHistogram, std::move(bounds));
+}
+
+MetricId MetricsRegistry::register_metric(const std::string& name, MetricKind kind,
+                                          std::vector<std::uint64_t> bounds) {
+  std::scoped_lock lock(mutex_);
+  for (std::uint32_t i = 0; i < descriptors_.size(); ++i) {
+    if (descriptors_[i].name != name) continue;
+    DSN_REQUIRE(descriptors_[i].kind == kind,
+                "metric '" + name + "' already registered with a different kind");
+    DSN_REQUIRE(kind != MetricKind::kHistogram || descriptors_[i].bounds == bounds,
+                "histogram '" + name + "' already registered with different bounds");
+    return MetricId{i};
+  }
+  DSN_REQUIRE(descriptors_.size() < kMaxMetrics, "metric registry is full");
+
+  Descriptor desc;
+  desc.name = name;
+  desc.kind = kind;
+  desc.bounds = std::move(bounds);
+  switch (kind) {
+    case MetricKind::kCounter:
+      desc.slot_base = next_slot_;
+      desc.slot_count = 1;
+      break;
+    case MetricKind::kGauge:
+      DSN_REQUIRE(next_gauge_ < kMaxMetrics, "gauge registry is full");
+      desc.slot_base = next_gauge_++;
+      desc.slot_count = 0;
+      break;
+    case MetricKind::kHistogram:
+      // bucket counts (bounds + overflow) followed by one sum slot.
+      desc.slot_base = next_slot_;
+      desc.slot_count = static_cast<std::uint32_t>(desc.bounds.size()) + 2;
+      break;
+  }
+  DSN_REQUIRE(next_slot_ + desc.slot_count <= kMaxSlots,
+              "metric slot capacity exhausted");
+  next_slot_ += desc.slot_count;
+
+  descriptors_.push_back(std::move(desc));
+  const auto index = static_cast<std::uint32_t>(descriptors_.size() - 1);
+  num_descriptors_.store(index + 1, std::memory_order_release);
+  return MetricId{index};
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
+  const std::uint32_t idx = thread_index();
+  if (idx >= kMaxThreadShards) return overflow_shard_;
+  Shard* s = shards_[idx].load(std::memory_order_acquire);
+  if (s != nullptr) return *s;
+  std::scoped_lock lock(mutex_);
+  s = shards_[idx].load(std::memory_order_relaxed);
+  if (s == nullptr) {
+    auto fresh = std::make_unique<Shard>(kMaxSlots);
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+      fresh->slots[i].store(0, std::memory_order_relaxed);
+    }
+    s = fresh.get();
+    owned_shards_.push_back(std::move(fresh));
+    shards_[idx].store(s, std::memory_order_release);
+  }
+  return *s;
+}
+
+namespace {
+
+/// Owner-thread slot update: a plain load/add/store on a relaxed atomic. Only
+/// the overflow shard (shared between threads) needs a real RMW.
+inline void slot_add(std::atomic<std::uint64_t>& slot, std::uint64_t delta,
+                     bool shared) {
+  if (shared) {
+    slot.fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    slot.store(slot.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  if (!id.valid()) return;
+  DSN_ASSERT(id.index < num_descriptors_.load(std::memory_order_acquire),
+             "metric id out of range");
+  const Descriptor& desc = descriptors_[id.index];
+  DSN_REQUIRE(desc.kind == MetricKind::kCounter,
+              "add() needs a counter: " + desc.name);
+  Shard& shard = shard_for_current_thread();
+  slot_add(shard.slots[desc.slot_base], delta, &shard == &overflow_shard_);
+}
+
+void MetricsRegistry::gauge_set(MetricId id, std::int64_t value) {
+  if (!id.valid()) return;
+  DSN_ASSERT(id.index < num_descriptors_.load(std::memory_order_acquire),
+             "metric id out of range");
+  const Descriptor& desc = descriptors_[id.index];
+  DSN_REQUIRE(desc.kind == MetricKind::kGauge,
+              "gauge_set() needs a gauge: " + desc.name);
+  GaugeCell& cell = gauges_[desc.slot_base];
+  cell.value.store(value, std::memory_order_relaxed);
+  cell.ever_set.store(1, std::memory_order_relaxed);
+  std::int64_t prev = cell.max.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !cell.max.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::observe(MetricId id, std::uint64_t value) {
+  if (!id.valid()) return;
+  DSN_ASSERT(id.index < num_descriptors_.load(std::memory_order_acquire),
+             "metric id out of range");
+  const Descriptor& desc = descriptors_[id.index];
+  DSN_REQUIRE(desc.kind == MetricKind::kHistogram,
+              "observe() needs a histogram: " + desc.name);
+  // Bucket i counts values <= bounds[i]; the final bucket is the overflow.
+  std::uint32_t bucket = 0;
+  while (bucket < desc.bounds.size() && value > desc.bounds[bucket]) ++bucket;
+  Shard& shard = shard_for_current_thread();
+  const bool shared = &shard == &overflow_shard_;
+  slot_add(shard.slots[desc.slot_base + bucket], 1, shared);
+  const std::uint32_t sum_slot = desc.slot_base + desc.slot_count - 1;
+  slot_add(shard.slots[sum_slot], value, shared);
+}
+
+std::uint64_t MetricsRegistry::shard_sum(std::uint32_t slot) const {
+  std::uint64_t total = 0;
+  for (const auto& holder : shards_) {
+    const Shard* s = holder.load(std::memory_order_acquire);
+    if (s != nullptr) total += s->slots[slot].load(std::memory_order_relaxed);
+  }
+  total += overflow_shard_.slots[slot].load(std::memory_order_relaxed);
+  return total;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  const std::uint32_t count = num_descriptors_.load(std::memory_order_acquire);
+  snap.metrics.reserve(count);
+  std::scoped_lock lock(mutex_);  // freeze registration + shard creation order
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Descriptor& desc = descriptors_[i];
+    MetricSnapshot m;
+    m.name = desc.name;
+    m.kind = desc.kind;
+    switch (desc.kind) {
+      case MetricKind::kCounter:
+        m.value = shard_sum(desc.slot_base);
+        break;
+      case MetricKind::kGauge: {
+        const GaugeCell& cell = gauges_[desc.slot_base];
+        m.gauge_value = cell.value.load(std::memory_order_relaxed);
+        m.gauge_max = cell.max.load(std::memory_order_relaxed);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        m.bounds = desc.bounds;
+        const std::uint32_t buckets = desc.slot_count - 1;
+        m.bucket_counts.resize(buckets);
+        for (std::uint32_t b = 0; b < buckets; ++b) {
+          m.bucket_counts[b] = shard_sum(desc.slot_base + b);
+          m.hist_count += m.bucket_counts[b];
+        }
+        m.hist_sum = shard_sum(desc.slot_base + desc.slot_count - 1);
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (const auto& holder : shards_) {
+    Shard* s = holder.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+      s->slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    overflow_shard_.slots[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::uint32_t g = 0; g < next_gauge_; ++g) {
+    gauges_[g].value.store(0, std::memory_order_relaxed);
+    gauges_[g].max.store(0, std::memory_order_relaxed);
+    gauges_[g].ever_set.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  return num_descriptors_.load(std::memory_order_acquire);
+}
+
+}  // namespace dsn::obs

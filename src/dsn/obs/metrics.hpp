@@ -1,0 +1,159 @@
+// Observability metrics: a registry of named counters, gauges and
+// fixed-bucket histograms with lock-free per-thread shards.
+//
+// Write discipline mirrors the MS-BFS accumulators: every thread owns a shard
+// (an array of relaxed atomics only that thread writes), so the hot path is a
+// plain load/add/store with no contention, and snapshot() merges the shards
+// serially in shard-index order — deterministic for any thread count.
+// Registration (name -> id) is the only mutex-guarded path and is idempotent,
+// so call sites can re-register by name without bookkeeping.
+//
+// Collection is gated by a process-wide runtime switch (metrics_on), seeded
+// from the DSN_OBS environment variable and flippable by tools; the DSN_OBS=0
+// *compile-time* switch in obs.hpp removes instrumentation call sites
+// entirely. The classes here are compiled unconditionally so that mixed
+// builds stay ODR-clean.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsn::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Handle to a registered metric. Default-constructed ids are invalid and
+/// every registry operation on them is a no-op, so uninstrumented paths can
+/// carry ids without caring whether registration ever happened.
+struct MetricId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t index = kInvalid;
+
+  constexpr bool valid() const { return index != kInvalid; }
+};
+
+/// Point-in-time merged view of one metric.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;       ///< counter total
+  std::int64_t gauge_value = 0;  ///< gauge: last set value
+  std::int64_t gauge_max = 0;    ///< gauge: max value ever set
+  std::uint64_t hist_count = 0;  ///< histogram: total observations
+  std::uint64_t hist_sum = 0;    ///< histogram: sum of observed values
+  std::vector<std::uint64_t> bounds;         ///< histogram bucket upper bounds
+  std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 (overflow last)
+};
+
+/// All metrics in registration order (stable across runs for a fixed
+/// instrumentation set, so reports diff cleanly).
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// Entry by name, or nullptr.
+  const MetricSnapshot* find(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Hard capacities: descriptors and per-shard slots are preallocated so the
+  /// hot path never observes a reallocation. Exceeding them throws
+  /// dsn::PreconditionError at registration time.
+  static constexpr std::size_t kMaxMetrics = 512;
+  static constexpr std::size_t kMaxSlots = 4096;
+  /// Threads beyond this many distinct shards share one overflow shard
+  /// (fetch_add instead of owner-only stores; still race-free).
+  static constexpr std::size_t kMaxThreadShards = 256;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used by the DSN_OBS_* instrumentation macros.
+  static MetricsRegistry& global();
+
+  /// Register (or look up) a metric. Idempotent by name; re-registering with
+  /// a different kind (or different histogram bounds) throws.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  /// `bounds` are ascending inclusive upper bounds; values above the last
+  /// bound land in a final overflow bucket.
+  MetricId histogram(const std::string& name, std::vector<std::uint64_t> bounds);
+
+  /// Hot-path updates. Invalid ids are ignored; kind mismatches throw.
+  void add(MetricId id, std::uint64_t delta = 1);
+  void gauge_set(MetricId id, std::int64_t value);
+  void observe(MetricId id, std::uint64_t value);
+
+  /// Merge all shards (shard-index order, then the overflow shard) into a
+  /// deterministic snapshot. Safe to call concurrently with writers: slots
+  /// are relaxed atomics, so a snapshot taken mid-update is merely slightly
+  /// stale, never torn.
+  Snapshot snapshot() const;
+
+  /// Zero every slot and gauge (descriptors and names are kept).
+  void reset();
+
+  std::size_t num_metrics() const;
+
+ private:
+  struct Descriptor {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t slot_base = 0;   ///< shard slot (counter/histogram) or gauge index
+    std::uint32_t slot_count = 0;  ///< histogram: bucket counts + trailing sum slot
+    std::vector<std::uint64_t> bounds;
+  };
+
+  /// Shard slots are written only by the owning thread (overflow shard
+  /// excepted), read by snapshot(); relaxed atomics keep that race-free.
+  struct Shard {
+    explicit Shard(std::size_t num_slots)
+        : slots(std::make_unique<std::atomic<std::uint64_t>[]>(num_slots)) {}
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  };
+
+  struct GaugeCell {
+    std::atomic<std::int64_t> value{0};
+    std::atomic<std::int64_t> max{0};
+    std::atomic<std::uint64_t> ever_set{0};
+  };
+
+  MetricId register_metric(const std::string& name, MetricKind kind,
+                           std::vector<std::uint64_t> bounds);
+  Shard& shard_for_current_thread();
+  std::uint64_t shard_sum(std::uint32_t slot) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Descriptor> descriptors_;            ///< reserved kMaxMetrics, append-only
+  std::atomic<std::uint32_t> num_descriptors_{0};  ///< published count for lock-free reads
+  std::uint32_t next_slot_ = 0;
+
+  std::array<std::atomic<Shard*>, kMaxThreadShards> shards_{};
+  std::vector<std::unique_ptr<Shard>> owned_shards_;  ///< guarded by mutex_
+  Shard overflow_shard_;
+
+  std::unique_ptr<GaugeCell[]> gauges_;  ///< kMaxMetrics cells
+  std::uint32_t next_gauge_ = 0;
+};
+
+/// Runtime collection switch. Seeded from the DSN_OBS environment variable
+/// ("1"/"true"/"on" enables; anything else, or unset, disables) so sanitizer
+/// CI legs can exercise instrumented paths without recompiling; tools that
+/// report metrics (dsn-lint stats, --trace flags) enable it explicitly.
+bool metrics_on();
+void set_metrics_enabled(bool enabled);
+
+/// Dense process-wide index of the calling thread (assigned on first use;
+/// never reused). Shard selection and trace tids both key off it.
+std::uint32_t thread_index();
+
+}  // namespace dsn::obs

@@ -1,0 +1,118 @@
+// Umbrella header + instrumentation macro family for dsn::obs.
+//
+// Call sites use the DSN_OBS_* macros, never the registry directly, so one
+// compile-time switch strips every instrumentation site from hot code:
+//
+//   static const auto kHops = DSN_OBS_COUNTER("dsn.sim.hops");
+//   DSN_OBS_ADD(kHops, 1);
+//   DSN_OBS_SPAN("sim.run");
+//
+// Builds default to DSN_OBS=1 (compiled in, runtime-gated by metrics_on()
+// which defaults OFF), while -DDSN_OBS=0 (the CMake DSN_OBS option) expands
+// every macro to nothing — registration macros yield a constexpr invalid
+// MetricId, update macros discard their arguments unevaluated — so disabled
+// builds carry zero instrumentation cost, bit-for-bit. The library types
+// themselves are always compiled; only call sites vary, which keeps mixed
+// DSN_OBS=0/1 link lines ODR-clean.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "dsn/obs/metrics.hpp"
+#include "dsn/obs/trace.hpp"
+
+#ifndef DSN_OBS
+#define DSN_OBS 1
+#endif
+
+namespace dsn::obs {
+
+/// RAII wall-clock timer that adds elapsed nanoseconds to a counter on
+/// destruction (and optionally counts invocations on a second counter).
+/// Cheap enough for per-shard scopes: two steady_clock reads per scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId elapsed_ns_counter,
+                       MetricId calls_counter = MetricId{})
+      : elapsed_(elapsed_ns_counter),
+        calls_(calls_counter),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    auto& registry = MetricsRegistry::global();
+    registry.add(elapsed_, static_cast<std::uint64_t>(ns));
+    if (calls_.valid()) registry.add(calls_, 1);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricId elapsed_;
+  MetricId calls_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dsn::obs
+
+#define DSN_OBS_CONCAT_INNER(a, b) a##b
+#define DSN_OBS_CONCAT(a, b) DSN_OBS_CONCAT_INNER(a, b)
+
+#if DSN_OBS
+
+// Registration: cache the id in a function-local/namespace-scope static at
+// the call site — registration is idempotent, so re-running the initialiser
+// in another TU returns the same id.
+#define DSN_OBS_COUNTER(name) ::dsn::obs::MetricsRegistry::global().counter(name)
+#define DSN_OBS_GAUGE(name) ::dsn::obs::MetricsRegistry::global().gauge(name)
+#define DSN_OBS_HISTOGRAM(name, ...) \
+  ::dsn::obs::MetricsRegistry::global().histogram(name, __VA_ARGS__)
+
+// Updates: the metrics_on() check is the entire disabled-at-runtime cost
+// (one relaxed atomic load).
+#define DSN_OBS_ADD(id, ...)                                    \
+  do {                                                          \
+    if (::dsn::obs::metrics_on())                               \
+      ::dsn::obs::MetricsRegistry::global().add(id, __VA_ARGS__); \
+  } while (0)
+#define DSN_OBS_GAUGE_SET(id, value)                                   \
+  do {                                                                 \
+    if (::dsn::obs::metrics_on())                                      \
+      ::dsn::obs::MetricsRegistry::global().gauge_set(id, value);      \
+  } while (0)
+#define DSN_OBS_OBSERVE(id, value)                                   \
+  do {                                                               \
+    if (::dsn::obs::metrics_on())                                    \
+      ::dsn::obs::MetricsRegistry::global().observe(id, value);      \
+  } while (0)
+
+// RAII scopes. DSN_OBS_SPAN emits a B/E pair on the active trace writer (and
+// is a no-op when tracing is off); DSN_OBS_TIMER accumulates elapsed ns into
+// a counter when metrics are on.
+#define DSN_OBS_SPAN(name) \
+  ::dsn::obs::TracedSpan DSN_OBS_CONCAT(dsn_obs_span_, __LINE__)(name)
+#define DSN_OBS_TIMER(...)                                              \
+  std::optional<::dsn::obs::ScopedTimer> DSN_OBS_CONCAT(dsn_obs_timer_, \
+                                                        __LINE__);      \
+  if (::dsn::obs::metrics_on())                                         \
+  DSN_OBS_CONCAT(dsn_obs_timer_, __LINE__).emplace(__VA_ARGS__)
+
+// Arbitrary statement compiled only in instrumented builds.
+#define DSN_OBS_ONLY(...) __VA_ARGS__
+
+#else  // DSN_OBS == 0
+
+#define DSN_OBS_COUNTER(name) (::dsn::obs::MetricId{})
+#define DSN_OBS_GAUGE(name) (::dsn::obs::MetricId{})
+#define DSN_OBS_HISTOGRAM(name, ...) (::dsn::obs::MetricId{})
+#define DSN_OBS_ADD(id, ...) ((void)0)
+#define DSN_OBS_GAUGE_SET(id, value) ((void)0)
+#define DSN_OBS_OBSERVE(id, value) ((void)0)
+#define DSN_OBS_SPAN(name) ((void)0)
+#define DSN_OBS_TIMER(...) ((void)0)
+#define DSN_OBS_ONLY(...)
+
+#endif  // DSN_OBS

@@ -82,6 +82,15 @@ class SimRoutingPolicy {
   /// previous topology (e.g. the up*/down* down-only bit of an orientation
   /// that no longer exists).
   virtual bool reset_state_on_fault() const { return false; }
+
+  /// Human-readable name of a routing-state value, or nullptr when the state
+  /// has no phase semantics. The simulator uses it to label per-phase hop
+  /// counters (dsn.sim.hops.<phase>) for the paper's PRE-WORK/MAIN/FINISH
+  /// accounting.
+  virtual const char* phase_name(std::uint8_t state) const {
+    (void)state;
+    return nullptr;
+  }
 };
 
 class AdaptiveUpDownPolicy final : public SimRoutingPolicy {
@@ -162,6 +171,14 @@ class DsnCustomPolicy final : public SimRoutingPolicy {
   /// multi-fault pattern can strand a destination — the simulator's TTL
   /// guard then accounts those packets as dropped.
   void on_fault_update(const FaultView& view) override;
+  const char* phase_name(std::uint8_t state) const override {
+    switch (state) {
+      case kPhasePreWork: return "prework";
+      case kPhaseMain: return "main";
+      case kPhaseFinish: return "finish";
+      default: return nullptr;
+    }
+  }
 
   /// Phase values stored in the packet routing state.
   static constexpr std::uint8_t kPhasePreWork = 0;

@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+
+#include "dsn/obs/obs.hpp"
 
 namespace dsn {
+
+#if DSN_OBS
+namespace {
+
+struct SimMetrics {
+  obs::MetricId hops = obs::MetricsRegistry::global().counter("dsn.sim.hops");
+  obs::MetricId credit_stalls =
+      obs::MetricsRegistry::global().counter("dsn.sim.credit_stalls");
+  obs::MetricId fault_events =
+      obs::MetricsRegistry::global().counter("dsn.sim.fault_events");
+  obs::MetricId in_flight =
+      obs::MetricsRegistry::global().gauge("dsn.sim.in_flight_packets");
+  obs::MetricId latency_cycles = obs::MetricsRegistry::global().histogram(
+      "dsn.sim.packet_latency_cycles",
+      {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384});
+
+  static const SimMetrics& get() {
+    static SimMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+#endif  // DSN_OBS
 
 Simulator::Simulator(const Topology& topo, SimRoutingPolicy& policy,
                      const TrafficPattern& traffic, const SimConfig& config)
     : topo_(&topo), policy_(&policy), traffic_(&traffic), config_(config) {
   config_.validate();
+#if DSN_OBS
+  if (obs::metrics_on()) {
+    for (std::uint32_t s = 0; s < hop_phase_metrics_.size(); ++s) {
+      if (const char* phase = policy.phase_name(static_cast<std::uint8_t>(s))) {
+        hop_phase_metrics_[s] = obs::MetricsRegistry::global().counter(
+            std::string("dsn.sim.hops.") + phase);
+      }
+    }
+  }
+#endif
   num_switches_ = topo.num_nodes();
   num_hosts_ = num_switches_ * config_.hosts_per_switch;
   router_delay_ = config_.router_delay_cycles();
@@ -213,6 +250,7 @@ void Simulator::nic_stream(std::uint64_t now) {
     // wormhole the NIC stalls when the injection buffer has no credit.
     if (config_.switching == SwitchingMode::kWormhole &&
         nic.credits[nic.stream_vc] == 0) {
+      DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
       continue;
     }
     Packet& pkt = packets_[nic.streaming];
@@ -335,7 +373,10 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
     // one flit of space suffices (the packet may stall spanning switches).
     const std::uint32_t needed =
         config_.switching == SwitchingMode::kVirtualCutThrough ? pkt.size_flits : 1;
-    if (o.credits < needed) continue;
+    if (o.credits < needed) {
+      DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
+      continue;
+    }
     o.owned = true;
     o.owner_port = in_port;
     o.owner_vc = vc;
@@ -344,6 +385,16 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
     ivc.out_vc = cand.vc;
     ivc.cur_packet = head.packet;
     // Per-hop packet state update happens at allocation time (head decision).
+    // The hop is attributed to the phase the packet was in when it took it.
+#if DSN_OBS
+    if (obs::metrics_on()) {
+      auto& registry = obs::MetricsRegistry::global();
+      registry.add(SimMetrics::get().hops, 1);
+      if (pkt.route_state < hop_phase_metrics_.size()) {
+        registry.add(hop_phase_metrics_[pkt.route_state], 1);
+      }
+    }
+#endif
     pkt.route_state = policy_->next_state(sw_id, cand.next, cand, pkt.route_state);
     ++pkt.hops;
     return true;
@@ -422,7 +473,10 @@ void Simulator::switch_allocation(std::uint64_t now) {
         if (input_used[in_port]) continue;
         if (ivc.buffer.empty()) continue;
         OutputVc& o = sw.out[op * config_.vcs + ivc.out_vc];
-        if (o.credits == 0) continue;
+        if (o.credits == 0) {
+          DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
+          continue;
+        }
         granted = idx;
         break;
       }
@@ -454,6 +508,8 @@ void Simulator::switch_allocation(std::uint64_t now) {
           if (pkt.measured) {
             ++measured_delivered_;
             measured_hops_ += pkt.hops;
+            DSN_OBS_OBSERVE(SimMetrics::get().latency_cycles,
+                            eject - pkt.gen_cycle);
             measured_latencies_.push_back(
                 static_cast<std::uint32_t>(eject - pkt.gen_cycle));
             if (config_.record_packet_traces && traces_.size() < config_.trace_limit) {
@@ -707,12 +763,15 @@ void Simulator::apply_fault_events(std::uint64_t now) {
         break;
     }
     if (!changed) continue;  // redundant event (already in that state)
+    DSN_OBS_ADD(SimMetrics::get().fault_events, 1);
+    DSN_OBS_SPAN("sim.fault_recovery");
 
     FaultRecord record;
     record.event = ev;
     purge_packets(damaged, now, config_.retry_on_fault, /*ttl=*/false, &record);
     recompute_credits();
     if (config_.rebuild_routing_on_fault) {
+      DSN_OBS_SPAN("sim.routing_rebuild");
       policy_->on_fault_update({topo_, link_alive_, switch_alive_});
       record.rebuilt_routing = true;
       ++routing_rebuilds_;
@@ -724,6 +783,28 @@ void Simulator::apply_fault_events(std::uint64_t now) {
     fault_log_.push_back(record);
     last_progress_cycle_ = now;
   }
+}
+
+/// Sampled counter tracks on the active trace: channel occupancy (owned
+/// network output VCs) and packets in flight, every 64 cycles so even long
+/// runs stay viewable. A no-op unless a trace writer is active.
+void Simulator::emit_trace_sample(std::uint64_t now) {
+#if DSN_OBS
+  obs::TraceWriter* writer = obs::active_trace();
+  if (writer == nullptr || now % 64 != 0) return;
+  std::uint64_t occupied = 0;
+  for (const SwitchState& sw : switches_) {
+    const std::uint32_t net_vcs = sw.num_net_ports * config_.vcs;
+    for (std::uint32_t idx = 0; idx < net_vcs; ++idx) {
+      if (sw.out[idx].owned) ++occupied;
+    }
+  }
+  writer->counter("sim.occupied_channels", static_cast<double>(occupied));
+  writer->counter("sim.in_flight_packets",
+                  static_cast<double>(in_flight_packets_));
+#else
+  (void)now;
+#endif
 }
 
 SimResult Simulator::run() {
@@ -741,6 +822,7 @@ SimResult Simulator::run() {
   // reused across runs must not carry a previous run's degraded tables.
   policy_->on_fault_update({topo_, link_alive_, switch_alive_});
 
+  DSN_OBS_SPAN("sim.run");
   std::uint64_t now = 0;
   last_progress_cycle_ = 0;
   for (; now < hard_end; ++now) {
@@ -751,6 +833,9 @@ SimResult Simulator::run() {
     allocate_vcs(now);
     switch_allocation(now);
     nic_stream(now);
+    DSN_OBS_ONLY(emit_trace_sample(now);)
+    DSN_OBS_GAUGE_SET(SimMetrics::get().in_flight,
+                      static_cast<std::int64_t>(in_flight_packets_));
 
     if (now >= window_end &&
         measured_delivered_ + measured_dropped_ == measured_generated_) {

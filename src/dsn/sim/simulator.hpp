@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dsn/common/json.hpp"
+#include "dsn/obs/metrics.hpp"
 #include "dsn/sim/config.hpp"
 #include "dsn/sim/fault.hpp"
 #include "dsn/sim/packet.hpp"
@@ -258,6 +259,15 @@ class Simulator {
   std::uint64_t measured_dropped_ = 0;
   std::uint32_t routing_rebuilds_ = 0;
   std::vector<PacketSlot> ttl_expired_;  ///< per-cycle scratch
+
+  /// Per-phase hop counters, indexed by routing state, registered in the
+  /// constructor for every state the policy names (dsn.sim.hops.<phase>).
+  /// Unnamed states keep invalid ids, which every registry op ignores.
+  /// Present in all builds (headers are DSN_OBS-invariant); with DSN_OBS=0
+  /// nothing ever registers or touches them.
+  std::array<obs::MetricId, 8> hop_phase_metrics_{};
+
+  void emit_trace_sample(std::uint64_t now);
 };
 
 /// Convenience wrapper: run one simulation point.

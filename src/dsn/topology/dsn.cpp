@@ -1,6 +1,7 @@
 #include "dsn/topology/dsn.hpp"
 
 #include "dsn/common/math.hpp"
+#include "dsn/obs/obs.hpp"
 #include "dsn/topology/hooks.hpp"
 
 namespace dsn {
@@ -26,9 +27,11 @@ Dsn::Dsn(std::uint32_t n, std::uint32_t x) : n_(n), p_(0), x_(x), r_(0) {
 
   // Level-l shortcuts: node i (level l <= x) connects to the first clockwise
   // node j with level l+1 at ring distance >= floor(n/2^l).
+  DSN_OBS_ONLY(std::vector<std::uint64_t> shortcuts_per_level(x_ + 1, 0);)
   for (NodeId i = 0; i < n_; ++i) {
     const std::uint32_t l = level(i);
     if (l > x_) continue;
+    DSN_OBS_ONLY(++shortcuts_per_level[l];)
     const std::uint32_t min_span = shortcut_min_span(l);
     // Candidates with level l+1 satisfy j mod p == l; scan clockwise from the
     // minimum span. The scan is bounded by n (levels repeat every p ids, but
@@ -51,6 +54,21 @@ Dsn::Dsn(std::uint32_t n, std::uint32_t x) : n_(n), p_(0), x_(x), r_(0) {
       topology_.link_roles.push_back(LinkRole::kShortcut);
     }
   }
+#if DSN_OBS
+  // Per-level construction counters accumulate locally and publish once, so
+  // the generator's hot loop never touches the registry mutex.
+  if (obs::metrics_on()) {
+    auto& registry = obs::MetricsRegistry::global();
+    const obs::MetricId total = registry.counter("dsn.topology.shortcuts");
+    for (std::uint32_t l = 0; l <= x_; ++l) {
+      if (shortcuts_per_level[l] == 0) continue;
+      registry.add(total, shortcuts_per_level[l]);
+      registry.add(
+          registry.counter("dsn.topology.shortcuts.level" + std::to_string(l)),
+          shortcuts_per_level[l]);
+    }
+  }
+#endif
   detail::notify_topology_generated(topology_);
 }
 

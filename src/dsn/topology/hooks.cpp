@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "dsn/obs/obs.hpp"
+
 namespace dsn {
 
 namespace {
@@ -21,6 +23,11 @@ TopologyGeneratedHook topology_generated_hook() {
 namespace detail {
 
 void notify_topology_generated(const Topology& topo) {
+#if DSN_OBS
+  static const obs::MetricId generated =
+      obs::MetricsRegistry::global().counter("dsn.topology.generated");
+  DSN_OBS_ADD(generated, 1);
+#endif
   if (const TopologyGeneratedHook hook = topology_generated_hook()) hook(topo);
 }
 

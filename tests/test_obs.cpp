@@ -1,0 +1,215 @@
+// dsn::obs contract tests: deterministic shard merging across thread counts,
+// histogram bucket edges, gauge last/max semantics, idempotent registration,
+// and B/E balance of emitted Chrome traces. The DSN_OBS=0 compile-out
+// contract lives in test_obs_noop.cpp (built as its own binary with the
+// macros stripped).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsn/common/error.hpp"
+#include "dsn/obs/obs.hpp"
+
+namespace {
+
+/// Run `adds` counter increments and one histogram observation per worker on
+/// a fresh registry, split across `nthreads` threads, and return the merged
+/// snapshot. Totals must not depend on the split.
+dsn::obs::Snapshot run_sharded(std::size_t nthreads, std::uint64_t adds_per_thread) {
+  dsn::obs::MetricsRegistry registry;
+  const auto ops = registry.counter("test.ops");
+  const auto hist = registry.histogram("test.latency", {10, 100, 1000});
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < adds_per_thread; ++i) registry.add(ops, 1);
+      registry.observe(hist, 5 * (t + 1));
+    });
+  }
+  for (auto& th : threads) th.join();
+  return registry.snapshot();
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(Obs, CounterMergeIsDeterministicAcrossThreadCounts) {
+  for (const std::size_t nthreads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const auto snap = run_sharded(nthreads, 10'000);
+    const auto* ops = snap.find("test.ops");
+    ASSERT_NE(ops, nullptr) << nthreads << " threads";
+    EXPECT_EQ(ops->kind, dsn::obs::MetricKind::kCounter);
+    EXPECT_EQ(ops->value, 10'000 * nthreads) << nthreads << " threads";
+    const auto* hist = snap.find("test.latency");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->hist_count, nthreads);
+  }
+}
+
+TEST(Obs, SnapshotIsStableWhenNothingChanges) {
+  dsn::obs::MetricsRegistry registry;
+  const auto ops = registry.counter("test.ops");
+  registry.add(ops, 42);
+  const auto a = registry.snapshot();
+  const auto b = registry.snapshot();
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].name, b.metrics[i].name);
+    EXPECT_EQ(a.metrics[i].value, b.metrics[i].value);
+  }
+}
+
+TEST(Obs, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  dsn::obs::MetricsRegistry registry;
+  const auto hist = registry.histogram("test.h", {10, 20, 30});
+  // One value on each side of every edge, plus deep overflow.
+  for (const std::uint64_t v : {5u, 10u, 11u, 20u, 21u, 30u, 31u, 1000u})
+    registry.observe(hist, v);
+  const auto snap = registry.snapshot();
+  const auto* h = snap.find("test.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, dsn::obs::MetricKind::kHistogram);
+  EXPECT_EQ(h->bounds, (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(h->bucket_counts, (std::vector<std::uint64_t>{2, 2, 2, 2}));
+  EXPECT_EQ(h->hist_count, 8u);
+  EXPECT_EQ(h->hist_sum, 5u + 10 + 11 + 20 + 21 + 30 + 31 + 1000);
+}
+
+TEST(Obs, GaugeKeepsLastValueAndMax) {
+  dsn::obs::MetricsRegistry registry;
+  const auto depth = registry.gauge("test.depth");
+  registry.gauge_set(depth, 5);
+  registry.gauge_set(depth, 12);
+  registry.gauge_set(depth, 3);
+  const auto snap = registry.snapshot();
+  const auto* g = snap.find("test.depth");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->gauge_value, 3);
+  EXPECT_EQ(g->gauge_max, 12);
+}
+
+TEST(Obs, RegistrationIsIdempotentAndKindChecked) {
+  dsn::obs::MetricsRegistry registry;
+  const auto a = registry.counter("test.same");
+  const auto b = registry.counter("test.same");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+  EXPECT_THROW(registry.gauge("test.same"), dsn::PreconditionError);
+  const auto h = registry.histogram("test.hist", {1, 2});
+  EXPECT_EQ(registry.histogram("test.hist", {1, 2}).index, h.index);
+  EXPECT_THROW(registry.histogram("test.hist", {1, 2, 3}), dsn::PreconditionError);
+}
+
+TEST(Obs, InvalidIdsAreIgnored) {
+  dsn::obs::MetricsRegistry registry;
+  registry.add(dsn::obs::MetricId{}, 99);
+  registry.gauge_set(dsn::obs::MetricId{}, 99);
+  registry.observe(dsn::obs::MetricId{}, 99);
+  EXPECT_EQ(registry.snapshot().metrics.size(), 0u);
+}
+
+TEST(Obs, ResetZeroesValuesButKeepsNames) {
+  dsn::obs::MetricsRegistry registry;
+  const auto ops = registry.counter("test.ops");
+  registry.add(ops, 7);
+  registry.reset();
+  const auto snap = registry.snapshot();
+  const auto* m = snap.find("test.ops");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 0u);
+  EXPECT_EQ(registry.counter("test.ops").index, ops.index);
+}
+
+TEST(Obs, TraceWriterBalancesNestedAndThreadedSpans) {
+  dsn::obs::TraceWriter writer;
+  writer.begin("outer");
+  writer.begin("inner");
+  writer.end("inner");
+  writer.end("outer");
+  std::thread worker([&] {
+    writer.begin("worker-span");
+    writer.end("worker-span");
+  });
+  worker.join();
+  writer.counter("depth", 2.0);
+  const std::string json = writer.to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 1u);
+  // Within one thread the B for a span precedes its E.
+  EXPECT_LT(json.find("\"name\":\"outer\",\"ph\":\"B\""),
+            json.find("\"name\":\"inner\",\"ph\":\"B\""));
+  EXPECT_LT(json.find("\"name\":\"inner\",\"ph\":\"E\""),
+            json.find("\"name\":\"outer\",\"ph\":\"E\""));
+}
+
+TEST(Obs, StartStopTraceWritesBalancedFile) {
+  const std::string path = testing::TempDir() + "dsn_obs_trace_test.json";
+  dsn::obs::start_trace();
+  {
+    // TracedSpan directly rather than DSN_OBS_SPAN so this contract also
+    // holds when the suite is built with DSN_OBS=0 (macros stripped, types
+    // still compiled).
+    dsn::obs::TracedSpan alpha("alpha");
+    dsn::obs::TracedSpan beta("beta");
+  }
+  ASSERT_TRUE(dsn::obs::stop_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u);
+  // Spans destruct in reverse construction order, so beta closes first.
+  EXPECT_LT(json.find("\"name\":\"beta\",\"ph\":\"E\""),
+            json.find("\"name\":\"alpha\",\"ph\":\"E\""));
+  std::remove(path.c_str());
+  // A second stop without a start is a clean no-op.
+  EXPECT_FALSE(dsn::obs::stop_trace(path));
+}
+
+TEST(Obs, SpanSurvivesStopTraceOfItsWriter) {
+  const std::string path = testing::TempDir() + "dsn_obs_trace_detach.json";
+  dsn::obs::start_trace();
+  {
+    dsn::obs::TracedSpan span("outlives-stop");
+    ASSERT_TRUE(dsn::obs::stop_trace(path));
+    // The span's E lands on the retired writer when this scope closes; it
+    // must not crash even though the writer already serialised.
+  }
+  std::remove(path.c_str());
+}
+
+#if DSN_OBS
+// Only meaningful when the macros are compiled in; the DSN_OBS=0 macro
+// contract lives in test_obs_noop.cpp.
+TEST(Obs, RuntimeSwitchGatesMacroUpdates) {
+  const bool was_on = dsn::obs::metrics_on();
+  static const auto kCounter = DSN_OBS_COUNTER("test.gated");
+  dsn::obs::set_metrics_enabled(false);
+  DSN_OBS_ADD(kCounter, 1);
+  const auto before = dsn::obs::MetricsRegistry::global().snapshot();
+  dsn::obs::set_metrics_enabled(true);
+  DSN_OBS_ADD(kCounter, 1);
+  const auto after = dsn::obs::MetricsRegistry::global().snapshot();
+  dsn::obs::set_metrics_enabled(was_on);
+  ASSERT_NE(after.find("test.gated"), nullptr);
+  const auto* b = before.find("test.gated");
+  EXPECT_EQ(after.find("test.gated")->value, (b != nullptr ? b->value : 0) + 1);
+}
+#endif  // DSN_OBS
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Compiled with DSN_OBS=0 (see tests/CMakeLists.txt): proves the
+// instrumentation macros strip to nothing in disabled builds — zero storage,
+// zero registrations, zero side effects — while the dsn::obs library itself
+// still links (call sites vary, types don't, so mixed builds stay ODR-clean).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dsn/obs/obs.hpp"
+
+static_assert(DSN_OBS == 0, "this binary must be built with -DDSN_OBS=0");
+
+namespace {
+
+// Registration macros collapse to a constexpr invalid id.
+static_assert(!(DSN_OBS_COUNTER("noop.counter")).valid());
+static_assert(!(DSN_OBS_GAUGE("noop.gauge")).valid());
+static_assert(!(DSN_OBS_HISTOGRAM("noop.hist", {1, 2, 3})).valid());
+
+// DSN_OBS_ONLY strips its argument entirely: a struct whose only member is
+// instrumentation state is empty in a disabled build.
+struct InstrumentedOnly {
+  DSN_OBS_ONLY(std::uint64_t per_level_count = 0;)
+};
+struct Payload {
+  std::uint64_t hops = 0;
+  DSN_OBS_ONLY(std::uint64_t hop_counter_cache = 0;)
+};
+static_assert(sizeof(InstrumentedOnly) == 1, "instrumentation-only struct must be empty");
+static_assert(sizeof(Payload) == sizeof(std::uint64_t),
+              "DSN_OBS_ONLY members must vanish from disabled builds");
+
+TEST(ObsNoop, UpdateMacrosHaveNoObservableEffect) {
+  auto& registry = dsn::obs::MetricsRegistry::global();
+  const std::size_t metrics_before = registry.num_metrics();
+
+  // [[maybe_unused]] because the update macros below discard their arguments
+  // unevaluated in a disabled build — the ids really are dead.
+  [[maybe_unused]] static const auto kCounter = DSN_OBS_COUNTER("noop.test.counter");
+  [[maybe_unused]] static const auto kGauge = DSN_OBS_GAUGE("noop.test.gauge");
+  [[maybe_unused]] static const auto kHist = DSN_OBS_HISTOGRAM("noop.test.hist", {16, 64});
+  dsn::obs::set_metrics_enabled(true);
+  DSN_OBS_ADD(kCounter, 17);
+  DSN_OBS_GAUGE_SET(kGauge, 3);
+  DSN_OBS_OBSERVE(kHist, 100);
+  { DSN_OBS_SPAN("noop.span"); }
+  { DSN_OBS_TIMER(kCounter); }
+
+  // Nothing registered, nothing counted: the macros never touched the
+  // registry, even with the runtime switch forced on.
+  EXPECT_EQ(registry.num_metrics(), metrics_before);
+  EXPECT_EQ(registry.snapshot().find("noop.test.counter"), nullptr);
+}
+
+TEST(ObsNoop, LibraryTypesStillLinkAndWork) {
+  // The obs library is compiled unconditionally; only macro call sites are
+  // stripped. Direct use keeps working so tools can opt in explicitly.
+  dsn::obs::MetricsRegistry registry;
+  const auto id = registry.counter("noop.direct");
+  registry.add(id, 2);
+  const auto snap = registry.snapshot();
+  ASSERT_NE(snap.find("noop.direct"), nullptr);
+  EXPECT_EQ(snap.find("noop.direct")->value, 2u);
+}
+
+}  // namespace

@@ -17,6 +17,10 @@
 //   dsn-lint drill ...    live fault drill on the flit simulator: down a
 //                         link/switch (or flap links) mid-run and verify the
 //                         network recovers with exact packet accounting
+//   dsn-lint stats ...    run an instrumented mini-workload through every
+//                         layer (generate / graph / analyze / drill) and
+//                         report the dsn::obs metrics registry as a table or
+//                         JSON; counters are checked monotone across stages
 // Subcommands exit 0 when every checked property holds, 1 when a property is
 // refuted, and 2 on usage or internal errors.
 //
@@ -30,6 +34,8 @@
 //   dsn-lint load --topology dsn-e --n 512
 //   dsn-lint drill --topology dsn-e --n 48 --fail-link auto --heal-at 1500
 //   dsn-lint drill --topology dsn --n 64 --fail-switch 7 --ttl 4000 --json
+//   dsn-lint stats --n 96 --json
+//   dsn-lint stats --n 96 --trace stats-trace.json
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -44,6 +50,10 @@
 #include "dsn/common/cli.hpp"
 #include "dsn/common/json.hpp"
 #include "dsn/common/math.hpp"
+#include "dsn/common/table.hpp"
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/obs/obs.hpp"
 #include "dsn/routing/sim_routing.hpp"
 #include "dsn/sim/simulator.hpp"
 #include "dsn/topology/dsn.hpp"
@@ -434,6 +444,196 @@ int run_drill_command(int argc, const char* const* argv) {
   return violations.empty() ? kExitClean : kExitViolations;
 }
 
+// ---------------------------------------------------------------------------
+// Observability stats subcommand
+// ---------------------------------------------------------------------------
+
+#if DSN_OBS
+/// One metrics snapshot as ordered JSON (registration order, so reports diff
+/// cleanly run to run).
+dsn::Json snapshot_to_json(const dsn::obs::Snapshot& snap) {
+  dsn::Json metrics = dsn::Json::array();
+  for (const dsn::obs::MetricSnapshot& m : snap.metrics) {
+    dsn::Json jm = dsn::Json::object();
+    jm.set("name", m.name);
+    jm.set("kind", dsn::obs::to_string(m.kind));
+    switch (m.kind) {
+      case dsn::obs::MetricKind::kCounter:
+        jm.set("value", m.value);
+        break;
+      case dsn::obs::MetricKind::kGauge:
+        jm.set("value", m.gauge_value);
+        jm.set("max", m.gauge_max);
+        break;
+      case dsn::obs::MetricKind::kHistogram: {
+        jm.set("count", m.hist_count);
+        jm.set("sum", m.hist_sum);
+        dsn::Json bounds = dsn::Json::array();
+        for (const std::uint64_t b : m.bounds) bounds.push_back(dsn::Json(b));
+        jm.set("bounds", std::move(bounds));
+        dsn::Json buckets = dsn::Json::array();
+        for (const std::uint64_t c : m.bucket_counts) buckets.push_back(dsn::Json(c));
+        jm.set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    metrics.push_back(std::move(jm));
+  }
+  return metrics;
+}
+#endif  // DSN_OBS
+
+int run_stats_command(int argc, const char* const* argv) {
+  dsn::Cli cli(
+      "dsn-lint stats: drive an instrumented mini-workload through every "
+      "layer (generate -> graph -> analyze -> drill) and report the dsn::obs "
+      "metrics registry (exit 0 = instrumentation present and consistent, 1 = "
+      "a metric is missing or a counter regressed, 2 = usage/internal error)");
+  cli.add_flag("n", "96", "node count of the workload topology");
+  cli.add_flag("seed", "1", "traffic seed for the drill stage");
+  cli.add_flag("json", "false", "emit a machine-readable JSON report");
+  cli.add_flag("trace", "",
+               "also capture a Chrome-trace JSON of the workload to this file");
+
+  if (!cli.parse(argc, argv)) return kExitClean;
+
+#if !DSN_OBS
+  std::cerr << "dsn-lint stats: this binary was built with DSN_OBS=0; "
+               "instrumentation call sites are compiled out\n";
+  return kExitUsage;
+#else
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
+  dsn::obs::set_metrics_enabled(true);
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) dsn::obs::start_trace();
+
+  // Each stage exercises one layer's instrumentation; the cumulative
+  // snapshot after each stage is kept so counters can be proven monotone.
+  std::vector<std::pair<std::string, dsn::obs::Snapshot>> stages;
+  auto& registry = dsn::obs::MetricsRegistry::global();
+
+  const dsn::Dsn d(n, dsn::dsn_default_x(n));
+  stages.emplace_back("generate", registry.snapshot());
+
+  // Route a token task through the pool's worker queue: parallel_for runs
+  // inline on single-core hosts (and under nested parallelism), which would
+  // leave the dsn.pool.* instrumentation unregistered there.
+  dsn::ThreadPool::global().submit([] {});
+  dsn::ThreadPool::global().wait_idle();
+
+  const dsn::CsrView csr(d.topology().graph);
+  (void)dsn::compute_path_stats(csr);
+  (void)dsn::eccentricities(csr);
+  stages.emplace_back("graph", registry.snapshot());
+
+  (void)dsn::analyze::analyze_dsn_routes(d, dsn::analyze::ChannelScheme::kBasic);
+  stages.emplace_back("analyze", registry.snapshot());
+
+  // Drill stage: the three-phase custom policy on the same DSN instance with
+  // a healed shortcut failure, so per-phase hop counters and the fault
+  // recovery path both run.
+  {
+    dsn::DsnCustomPolicy policy(d);
+    dsn::SimConfig cfg;
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 1000;
+    cfg.drain_cycles = 30000;
+    cfg.seed = cli.get_uint("seed");
+    cfg.packet_ttl_cycles = 4000;
+    dsn::FaultSchedule schedule;
+    const dsn::LinkId victim = auto_shortcut_link(d.topology());
+    schedule.link_down(300, victim);
+    schedule.link_up(900, victim);
+    dsn::UniformTraffic traffic(d.topology().num_nodes() * cfg.hosts_per_switch);
+    dsn::Simulator sim(d.topology(), policy, traffic, cfg);
+    sim.set_fault_schedule(schedule);
+    (void)sim.run();
+  }
+  stages.emplace_back("drill", registry.snapshot());
+
+  if (!trace_path.empty()) dsn::obs::stop_trace(trace_path);
+  const dsn::obs::Snapshot& final_snap = stages.back().second;
+
+  // Self-checks: the canonical per-layer metrics must exist, and every
+  // counter must be monotone across the stage snapshots (the sharded-merge
+  // discipline guarantees it; a regression means torn reads or id misuse).
+  std::vector<AnalysisViolation> violations;
+  for (const char* required :
+       {"dsn.topology.generated", "dsn.topology.shortcuts",
+        "dsn.graph.msbfs_batches", "dsn.analysis.routes_checked",
+        "dsn.pool.tasks_executed", "dsn.sim.hops", "dsn.sim.hops.main",
+        "dsn.sim.packet_latency_cycles"}) {
+    if (final_snap.find(required) == nullptr) {
+      violations.push_back({"metric-missing",
+                            std::string("expected metric '") + required +
+                                "' was never registered by the workload"});
+    }
+  }
+  for (std::size_t s = 1; s < stages.size(); ++s) {
+    for (const dsn::obs::MetricSnapshot& m : stages[s].second.metrics) {
+      if (m.kind != dsn::obs::MetricKind::kCounter) continue;
+      const dsn::obs::MetricSnapshot* prev = stages[s - 1].second.find(m.name);
+      if (prev != nullptr && prev->value > m.value) {
+        violations.push_back(
+            {"counter-regression",
+             m.name + " fell from " + std::to_string(prev->value) + " to " +
+                 std::to_string(m.value) + " between stage '" +
+                 stages[s - 1].first + "' and '" + stages[s].first + "'"});
+      }
+    }
+  }
+
+  if (cli.get_bool("json")) {
+    dsn::Json doc = dsn::Json::object();
+    doc.set("command", "stats");
+    doc.set("topology", "dsn-" + std::to_string(n));
+    doc.set("obs_enabled", true);
+    dsn::Json jstages = dsn::Json::array();
+    for (const auto& [name, snap] : stages) {
+      dsn::Json js = dsn::Json::object();
+      js.set("stage", name);
+      js.set("metrics", snapshot_to_json(snap));
+      jstages.push_back(std::move(js));
+    }
+    doc.set("stages", std::move(jstages));
+    doc.set("metrics", snapshot_to_json(final_snap));
+    dsn::Json vs = dsn::Json::array();
+    for (const AnalysisViolation& v : violations) {
+      dsn::Json jv = dsn::Json::object();
+      jv.set("kind", v.kind);
+      jv.set("message", v.message);
+      vs.push_back(std::move(jv));
+    }
+    doc.set("violations", std::move(vs));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    dsn::Table table({"metric", "kind", "value", "max/sum"});
+    for (const dsn::obs::MetricSnapshot& m : final_snap.metrics) {
+      auto& row = table.row().cell(m.name).cell(dsn::obs::to_string(m.kind));
+      switch (m.kind) {
+        case dsn::obs::MetricKind::kCounter:
+          row.cell(m.value).cell("");
+          break;
+        case dsn::obs::MetricKind::kGauge:
+          row.cell(m.gauge_value).cell(std::to_string(m.gauge_max));
+          break;
+        case dsn::obs::MetricKind::kHistogram:
+          row.cell(m.hist_count).cell(std::to_string(m.hist_sum));
+          break;
+      }
+    }
+    table.print(std::cout,
+                "dsn::obs metrics after generate/graph/analyze/drill (dsn-" +
+                    std::to_string(n) + ")");
+    for (const AnalysisViolation& v : violations)
+      std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
+    std::cout << "dsn-lint stats: " << (violations.empty() ? "PASS" : "FAIL")
+              << " (" << violations.size() << " violations)\n";
+  }
+  return violations.empty() ? kExitClean : kExitViolations;
+#endif  // DSN_OBS
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -453,6 +653,14 @@ int main(int argc, char** argv) {
         return run_drill_command(argc - 1, argv + 1);
       } catch (const std::exception& e) {
         std::cerr << "dsn-lint drill: " << e.what() << "\n";
+        return kExitUsage;
+      }
+    }
+    if (cmd == "stats") {
+      try {
+        return run_stats_command(argc - 1, argv + 1);
+      } catch (const std::exception& e) {
+        std::cerr << "dsn-lint stats: " << e.what() << "\n";
         return kExitUsage;
       }
     }
