@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""dsn-slint: project-specific static lint suite for the dsn tree.
+
+Encodes house invariants that generic tooling cannot know, as named,
+individually suppressible checks over the C++ sources (comment- and
+string-stripped, so tokens in prose never fire):
+
+  no-unordered-in-deterministic
+      Files marked `// dsn-slint: deterministic` feed byte-identical replay
+      or shard-order merges (JSON reports, golden sim dumps, snapshot
+      merges). Unordered associative containers are banned there outright:
+      their iteration order is a function of hash seeding and load factor,
+      and a container that exists will eventually be iterated.
+
+  seeded-rng-only
+      All randomness flows through dsn::Rng / dsn::SplitMix64 (explicit
+      64-bit seeds, exact reproducibility). rand()/srand(), std::random_device,
+      std::mt19937* and std::default_random_engine are flagged everywhere
+      except the Rng implementation itself: one ambient-seeded generator in a
+      topology builder silently unpins every downstream experiment.
+
+  annotated-mutex-only
+      Lock-owning code uses dsn::Mutex / dsn::LockGuard / dsn::CondVar
+      (dsn/common/mutex.hpp), which carry Clang Thread Safety Analysis
+      capability attributes. A naked std::mutex (or lock_guard, scoped_lock,
+      unique_lock, condition_variable) is invisible to -Wthread-safety, so
+      every field it guards silently drops out of the analysis.
+
+  obs-args-pure
+      Arguments of DSN_OBS_ADD / DSN_OBS_GAUGE_SET / DSN_OBS_OBSERVE /
+      DSN_OBS_TIMER / DSN_OBS_SPAN vanish unevaluated when the tree is built
+      with -DDSN_OBS=0, so they must be side-effect free: `++`, `--` and
+      assignment inside the macro argument list make behaviour differ
+      between instrumented and stripped builds. (DSN_OBS_ONLY is exempt —
+      holding instrumentation-only statements is its documented purpose.)
+
+  header-hygiene
+      Every header carries `#pragma once`; `using namespace` never appears
+      in a header (it leaks into every includer, at any scope a header can
+      reasonably put it).
+
+Suppression syntax (a reason is mandatory; `reason`-less suppressions are
+reported as `suppression-syntax` findings, which are never suppressible):
+
+  // dsn-slint-ignore(<check>[,<check>...]): <reason>      same or next line
+  // dsn-slint-ignore-file(<check>[,<check>...]): <reason> whole file
+
+File marker opting a file into determinism checks:
+
+  // dsn-slint: deterministic
+
+Exit codes: 0 = clean (or findings without --strict), 1 = findings under
+--strict (or any suppression-syntax error), 2 = usage error. Like
+check_obs.py, every finding is listed — never just the first — so one CI log
+shows the whole drift.
+"""
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CHECKS = {
+    "no-unordered-in-deterministic":
+        "unordered container in a deterministic-marked file",
+    "seeded-rng-only":
+        "ambient/unseeded RNG outside dsn::Rng",
+    "annotated-mutex-only":
+        "naked std lock primitive outside dsn/common/mutex.hpp",
+    "obs-args-pure":
+        "side effect inside a DSN_OBS_* macro argument",
+    "header-hygiene":
+        "header missing #pragma once or polluting with using-namespace",
+}
+
+# The annotated-wrapper implementation is the single place allowed to touch
+# the std primitives; the Rng implementation is the single seeded entry point.
+MUTEX_WRAPPER = "src/dsn/common/mutex.hpp"
+RNG_IMPL = "src/dsn/common/rng.hpp"
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+HEADER_SUFFIXES = {".hpp", ".hh", ".h"}
+
+DETERMINISTIC_MARKER = re.compile(r"//\s*dsn-slint:\s*deterministic\b")
+IGNORE_LINE = re.compile(
+    r"//\s*dsn-slint-ignore\(([^)]*)\)(:?)\s*(.*)")
+IGNORE_FILE = re.compile(
+    r"//\s*dsn-slint-ignore-file\(([^)]*)\)(:?)\s*(.*)")
+
+UNORDERED_TOKEN = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b"
+    r"|#\s*include\s*<unordered_(?:map|set)>")
+RNG_TOKEN = re.compile(
+    r"\bstd\s*::\s*(?:random_device|mt19937(?:_64)?|default_random_engine"
+    r"|minstd_rand0?|knuth_b)\b"
+    r"|(?<![\w:])s?rand\s*\("
+    r"|\bdrand48\s*\(|\blrand48\s*\(")
+MUTEX_TOKEN = re.compile(
+    r"\bstd\s*::\s*(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|scoped_lock|unique_lock"
+    r"|shared_lock|condition_variable(?:_any)?)\b")
+USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
+PRAGMA_ONCE = re.compile(r"#\s*pragma\s+once\b")
+OBS_MACRO = re.compile(
+    r"\b(DSN_OBS_(?:ADD|GAUGE_SET|OBSERVE|TIMER|SPAN))\s*\(")
+# ++/-- anywhere, or `=` that is not part of ==, !=, <=, >=, <=>.
+SIDE_EFFECT = re.compile(r"\+\+|--|(?<![=!<>])=(?![=])")
+
+
+class Finding:
+    def __init__(self, check, path, line, message):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def as_dict(self):
+        return {"check": self.check, "file": str(self.path),
+                "line": self.line, "message": self.message}
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replace comment and string/char-literal contents with spaces.
+
+    Newlines are preserved so offsets and line numbers keep meaning. Handles
+    //, /* */, "...", '...' (with escapes) and raw strings R"delim(...)delim".
+    Deliberately a character scanner, not a regex: nested quote/comment
+    combinations are exactly where regexes silently mis-strip.
+    """
+    out = []
+    i, n = 0, len(text)
+
+    def blank(segment):
+        out.append("".join(c if c == "\n" else " " for c in segment))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            blank(text[i:end])
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            blank(text[i:end + 2])
+            i = end + 2
+        elif c in "\"'" and not _raw_string_start(text, i):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote)
+            blank(text[i + 1:j])
+            out.append(quote if j < n else "")
+            i = j + 1
+        elif _raw_string_start(text, i):
+            # R"delim( ... )delim"  — i points at the opening quote.
+            m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+            if m is None:  # malformed; treat as plain string
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, i + m.end())
+            end = n - len(closer) if end == -1 else end
+            out.append('"')
+            blank(text[i + 1:end + len(closer) - 1])
+            out.append('"')
+            i = end + len(closer)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _raw_string_start(text, i):
+    return (text[i] == '"' and i >= 1 and text[i - 1] == "R"
+            and (i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")))
+
+
+class Suppressions:
+    """Parsed dsn-slint-ignore / ignore-file comments for one file."""
+
+    def __init__(self, path, raw_lines):
+        self.file_checks = set()
+        self.line_checks = {}  # line number -> set of check names
+        self.errors = []       # Finding list (suppression-syntax)
+        for lineno, line in enumerate(raw_lines, 1):
+            for pattern, file_wide in ((IGNORE_FILE, True), (IGNORE_LINE, False)):
+                m = pattern.search(line)
+                if m is None:
+                    continue
+                names = {x.strip() for x in m.group(1).split(",") if x.strip()}
+                unknown = names - CHECKS.keys()
+                if unknown:
+                    self.errors.append(Finding(
+                        "suppression-syntax", path, lineno,
+                        f"unknown check(s) {sorted(unknown)}; "
+                        f"known: {sorted(CHECKS)}"))
+                if m.group(2) != ":" or not m.group(3).strip():
+                    self.errors.append(Finding(
+                        "suppression-syntax", path, lineno,
+                        "suppression needs a reason: "
+                        "// dsn-slint-ignore(<check>): <why>"))
+                    continue
+                names &= CHECKS.keys()
+                if file_wide:
+                    self.file_checks |= names
+                else:
+                    # A suppression covers its own line and the next one, so
+                    # it can ride on the offending line or sit just above it.
+                    for covered in (lineno, lineno + 1):
+                        self.line_checks.setdefault(covered, set()).update(names)
+                break  # ignore-file also matches IGNORE_LINE; first wins
+
+    def active(self, check, lineno):
+        return (check in self.file_checks
+                or check in self.line_checks.get(lineno, ()))
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def check_file(path, rel, text):
+    """Run every check over one file; returns (findings, suppression errors)."""
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    sup = Suppressions(rel, raw_lines)
+    findings = []
+
+    def emit(check, lineno, message):
+        if not sup.active(check, lineno):
+            findings.append(Finding(check, rel, lineno, message))
+
+    rel_posix = Path(rel).as_posix()
+
+    if DETERMINISTIC_MARKER.search(text):
+        for m in UNORDERED_TOKEN.finditer(stripped):
+            emit("no-unordered-in-deterministic", line_of(stripped, m.start()),
+                 f"`{m.group().strip()}` in a deterministic-marked file: "
+                 "iteration order follows the hash seed, not the data; "
+                 "use std::map/std::set or a sorted vector")
+
+    if not rel_posix.endswith(RNG_IMPL):
+        for m in RNG_TOKEN.finditer(stripped):
+            emit("seeded-rng-only", line_of(stripped, m.start()),
+                 f"`{m.group().strip()}` bypasses the seeded dsn::Rng entry "
+                 "points; ambient entropy unpins experiment reproducibility")
+
+    if not rel_posix.endswith(MUTEX_WRAPPER):
+        for m in MUTEX_TOKEN.finditer(stripped):
+            emit("annotated-mutex-only", line_of(stripped, m.start()),
+                 f"`{m.group().strip()}` is invisible to Clang Thread Safety "
+                 "Analysis; use dsn::Mutex/LockGuard/CondVar "
+                 "(dsn/common/mutex.hpp)")
+
+    for macro, args, offset in obs_macro_args(stripped):
+        bad = SIDE_EFFECT.search(args)
+        if bad is not None:
+            emit("obs-args-pure", line_of(stripped, offset),
+                 f"`{bad.group()}` inside {macro}(...): the argument is "
+                 "discarded unevaluated under -DDSN_OBS=0, so side effects "
+                 "make stripped and instrumented builds diverge")
+
+    if Path(rel).suffix in HEADER_SUFFIXES:
+        if not PRAGMA_ONCE.search(stripped):
+            emit("header-hygiene", 1, "header lacks #pragma once")
+        for m in USING_NAMESPACE.finditer(stripped):
+            emit("header-hygiene", line_of(stripped, m.start()),
+                 "`using namespace` in a header leaks into every includer")
+
+    return findings, sup.errors
+
+
+def obs_macro_args(stripped):
+    """Yield (macro_name, argument_text, offset) for each DSN_OBS_* call,
+    with balanced-parenthesis extraction (arguments may span lines)."""
+    for m in OBS_MACRO.finditer(stripped):
+        # Skip the macro definitions themselves (#define DSN_OBS_ADD(...)).
+        line_start = stripped.rfind("\n", 0, m.start()) + 1
+        if stripped[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        depth, i = 1, m.end()
+        while i < len(stripped) and depth > 0:
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+            i += 1
+        yield m.group(1), stripped[m.end():i - 1], m.start()
+
+
+def iter_source_files(roots):
+    for root in roots:
+        if root.is_file():
+            yield root
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                yield path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/ and tools/ beside ci/)")
+    parser.add_argument("--root", type=Path,
+                        help="repo root paths are reported relative to "
+                             "(default: inferred from this script's location)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any finding survives suppression")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable report (use '-' for stdout)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name, summary in CHECKS.items():
+            print(f"{name:32} {summary}")
+        return 0
+
+    root = (args.root or Path(__file__).resolve().parent.parent).resolve()
+    if args.paths:
+        roots = [Path(p).resolve() for p in args.paths]
+    else:
+        roots = [root / "src", root / "tools"]
+    missing = [r for r in roots if not r.exists()]
+    if missing:
+        print(f"dsn-slint: no such path: {missing}", file=sys.stderr)
+        return 2
+
+    findings, errors, checked = [], [], 0
+    for path in iter_source_files(roots):
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"dsn-slint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = path
+        file_findings, file_errors = check_file(path, rel, text)
+        findings.extend(file_findings)
+        errors.extend(file_errors)
+        checked += 1
+
+    findings.sort(key=lambda f: (str(f.path), f.line, f.check))
+    all_reported = errors + findings
+
+    if args.json:
+        report = {
+            "checked_files": checked,
+            "strict": args.strict,
+            "findings": [f.as_dict() for f in all_reported],
+        }
+        payload = json.dumps(report, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload)
+
+    for f in all_reported:
+        print(f.render(), file=sys.stderr)
+
+    verdict_fail = bool(errors) or (args.strict and bool(findings))
+    label = "FAIL" if verdict_fail else "PASS"
+    print(f"dsn-slint: {label} ({checked} files, {len(findings)} finding(s), "
+          f"{len(errors)} suppression error(s))")
+    return 1 if verdict_fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+// Fixture: malformed suppressions — a reason is mandatory and check names
+// must exist. Both lines below are suppression-syntax findings.
+#include <mutex>
+
+// dsn-slint-ignore(annotated-mutex-only)
+std::mutex no_reason_mutex;
+
+// dsn-slint-ignore(no-such-check): the check name is misspelled
+std::mutex unknown_check_mutex;

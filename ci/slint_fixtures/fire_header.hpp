@@ -1,0 +1,6 @@
+// Fixture: header without #pragma once and with a header-scope using-namespace.
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hi"; }

@@ -1,0 +1,10 @@
+// Fixture: naked std lock primitives instead of dsn::Mutex/LockGuard.
+#include <mutex>
+
+int counter = 0;
+std::mutex counter_mutex;
+
+void bump() {
+  std::lock_guard<std::mutex> lock(counter_mutex);
+  ++counter;
+}

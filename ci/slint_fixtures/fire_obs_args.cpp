@@ -1,0 +1,13 @@
+// Fixture: side effects inside DSN_OBS_* macro arguments. Under -DDSN_OBS=0
+// the arguments are discarded unevaluated, so the increments disappear.
+struct Id {};
+void fake_sink(Id, long);
+#define DSN_OBS_ADD(id, delta) fake_sink(id, delta)
+#define DSN_OBS_GAUGE_SET(id, value) fake_sink(id, value)
+
+long packets = 0;
+
+void record(Id id) {
+  DSN_OBS_ADD(id, ++packets);
+  DSN_OBS_GAUGE_SET(id, packets = 7);
+}

@@ -1,0 +1,9 @@
+// Fixture: ambient randomness outside the seeded dsn::Rng entry points.
+#include <cstdlib>
+#include <random>
+
+int noisy_pick(int bound) {
+  std::random_device entropy;
+  std::mt19937 gen(entropy());
+  return static_cast<int>(gen() % bound) + rand() % 2;
+}

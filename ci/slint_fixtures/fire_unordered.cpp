@@ -1,0 +1,10 @@
+// Fixture: deterministic-marked file holding an unordered container.
+// dsn-slint: deterministic
+#include <string>
+#include <unordered_map>
+
+int count_names(const std::unordered_map<int, std::string>& names) {
+  int total = 0;
+  for (const auto& [id, name] : names) total += id;
+  return total;
+}

@@ -1,0 +1,8 @@
+// Fixture: a hygienic header — #pragma once present, no using-namespace
+// (mentioning `using namespace std;` in a comment or "using namespace" in a
+// string must not fire).
+#pragma once
+
+#include <string>
+
+inline std::string describe() { return "using namespace is banned here"; }

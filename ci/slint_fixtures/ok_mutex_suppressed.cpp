@@ -1,0 +1,10 @@
+// Fixture: naked std lock silenced file-wide (e.g. interop with an external
+// API that hands us a std::unique_lock).
+// dsn-slint-ignore-file(annotated-mutex-only): exercises third-party lock interop
+#include <mutex>
+
+std::mutex handoff_mutex;
+
+std::unique_lock<std::mutex> acquire_for_caller() {
+  return std::unique_lock<std::mutex>(handoff_mutex);
+}

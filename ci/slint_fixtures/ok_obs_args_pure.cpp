@@ -1,0 +1,15 @@
+// Fixture: pure DSN_OBS_* arguments — comparisons and casts are fine, and
+// arguments may span lines; `==`, `!=`, `<=`, `>=` must not be mistaken for
+// assignment.
+struct Id {};
+void fake_sink(Id, long);
+#define DSN_OBS_ADD(id, delta) fake_sink(id, delta)
+
+long packets = 0;
+
+void record(Id id, long budget) {
+  DSN_OBS_ADD(id, static_cast<long>(packets >= budget ? 0 : 1));
+  DSN_OBS_ADD(id,
+              packets == budget ? 2L
+                                : 3L);
+}

@@ -1,0 +1,11 @@
+// Fixture: a side-effecting DSN_OBS_* argument, silenced with a reason.
+struct Id {};
+void fake_sink(Id, long);
+#define DSN_OBS_ADD(id, delta) fake_sink(id, delta)
+
+long packets = 0;
+
+void record(Id id) {
+  // dsn-slint-ignore(obs-args-pure): counter is itself obs-only state
+  DSN_OBS_ADD(id, ++packets);
+}

@@ -1,0 +1,8 @@
+// Fixture: ambient randomness, acknowledged with per-line suppressions.
+#include <random>
+
+unsigned hardware_entropy() {
+  // dsn-slint-ignore(seeded-rng-only): one-shot seed for an interactive demo
+  std::random_device entropy;
+  return entropy();
+}

@@ -1,0 +1,12 @@
+// Fixture: every banned token appears only in comments or string literals,
+// so nothing may fire. std::mutex, rand(), std::random_device,
+// std::unordered_map — all prose.
+// dsn-slint: deterministic
+#include <string>
+
+/* Block comment mentioning std::lock_guard<std::mutex> and srand(42). */
+std::string banner() {
+  return "std::unordered_map<int,int> and std::condition_variable and rand()";
+}
+
+const char* raw = R"(std::mutex rand( std::random_device)";

@@ -1,0 +1,12 @@
+// Fixture: the same unordered usage, silenced per line with a reason.
+// dsn-slint: deterministic
+#include <string>
+// dsn-slint-ignore(no-unordered-in-deterministic): lookup only, never iterated
+#include <unordered_map>
+
+int lookup(int id) {
+  // dsn-slint-ignore(no-unordered-in-deterministic): lookup only, never iterated
+  static std::unordered_map<int, int> cache;
+  const auto it = cache.find(id);
+  return it == cache.end() ? -1 : it->second;
+}

@@ -1,0 +1,8 @@
+// Fixture: unordered container in a file WITHOUT the deterministic marker —
+// out of the check's scope, must not fire.
+#include <unordered_set>
+
+bool seen(int id) {
+  static std::unordered_set<int> ids;
+  return !ids.insert(id).second;
+}

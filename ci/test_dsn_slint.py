@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Self-tests for ci/dsn_slint.py, run as a ctest (`slint.selftest`) and in
+the static-analysis CI job.
+
+Every check is demonstrated both FIRING (fixture named fire_*) and SILENCED
+(fixture named ok_*), per the acceptance bar for the lint suite; the lexer
+tests pin the property the whole suite rests on — tokens in comments and
+strings never fire.
+"""
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+CI_DIR = Path(__file__).resolve().parent
+FIXTURES = CI_DIR / "slint_fixtures"
+REPO_ROOT = CI_DIR.parent
+
+sys.path.insert(0, str(CI_DIR))
+import dsn_slint  # noqa: E402
+
+
+def run_fixture(name):
+    """Lint one fixture file; returns (findings, suppression_errors)."""
+    path = FIXTURES / name
+    return dsn_slint.check_file(path, path.name, path.read_text())
+
+
+def checks_fired(name):
+    findings, errors = run_fixture(name)
+    return sorted({f.check for f in findings} | {e.check for e in errors})
+
+
+class StripLexerTest(unittest.TestCase):
+    def test_preserves_line_structure(self):
+        text = (FIXTURES / "ok_tokens_in_prose.cpp").read_text()
+        stripped = dsn_slint.strip_comments_and_strings(text)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+
+    def test_strips_line_and_block_comments(self):
+        stripped = dsn_slint.strip_comments_and_strings(
+            "int a; // std::mutex\n/* rand( */ int b;\n")
+        self.assertNotIn("mutex", stripped)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int a;", stripped)
+        self.assertIn("int b;", stripped)
+
+    def test_strips_string_and_char_literals(self):
+        stripped = dsn_slint.strip_comments_and_strings(
+            'const char* s = "std::mutex"; char c = \'x\';\n')
+        self.assertNotIn("std::mutex", stripped)
+        self.assertNotIn("'x'", stripped)
+        compact = stripped.replace(" ", "")
+        self.assertIn('""', compact)   # quotes kept, contents blanked
+        self.assertIn("''", compact)
+
+    def test_strips_raw_strings(self):
+        stripped = dsn_slint.strip_comments_and_strings(
+            'auto r = R"(srand(1) "quoted" std::mutex)";\nint keep;\n')
+        self.assertNotIn("srand", stripped)
+        self.assertNotIn("mutex", stripped)
+        self.assertIn("int keep;", stripped)
+
+    def test_escaped_quote_does_not_derail(self):
+        stripped = dsn_slint.strip_comments_and_strings(
+            '"a\\"b"; std::mutex m;\n')
+        self.assertIn("std::mutex", stripped)
+
+
+class CheckFiringTest(unittest.TestCase):
+    """Each check fires on its fire_* fixture, at the right place."""
+
+    def test_unordered_in_deterministic(self):
+        findings, errors = run_fixture("fire_unordered.cpp")
+        self.assertEqual(errors, [])
+        self.assertEqual({f.check for f in findings},
+                         {"no-unordered-in-deterministic"})
+        # The #include and the declaration both fire.
+        self.assertEqual(len(findings), 2)
+        self.assertEqual(findings[0].line, 4)
+
+    def test_seeded_rng_only(self):
+        findings, _ = run_fixture("fire_rng.cpp")
+        self.assertEqual({f.check for f in findings}, {"seeded-rng-only"})
+        # random_device, mt19937, rand( — three distinct tokens.
+        self.assertEqual(len(findings), 3)
+
+    def test_annotated_mutex_only(self):
+        findings, _ = run_fixture("fire_mutex.cpp")
+        self.assertEqual({f.check for f in findings}, {"annotated-mutex-only"})
+        # std::mutex field + std::lock_guard and its std::mutex template arg.
+        self.assertEqual(len(findings), 3)
+
+    def test_obs_args_pure(self):
+        findings, _ = run_fixture("fire_obs_args.cpp")
+        self.assertEqual({f.check for f in findings}, {"obs-args-pure"})
+        self.assertEqual(len(findings), 2)  # ++packets and packets = 7
+
+    def test_header_hygiene(self):
+        findings, _ = run_fixture("fire_header.hpp")
+        self.assertEqual({f.check for f in findings}, {"header-hygiene"})
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("#pragma once", messages)
+        self.assertIn("using namespace", messages)
+
+
+class SuppressionTest(unittest.TestCase):
+    """Each check is silenced by its documented suppression syntax."""
+
+    def test_line_suppression_unordered(self):
+        self.assertEqual(checks_fired("ok_unordered_suppressed.cpp"), [])
+
+    def test_line_suppression_rng(self):
+        self.assertEqual(checks_fired("ok_rng_suppressed.cpp"), [])
+
+    def test_file_suppression_mutex(self):
+        self.assertEqual(checks_fired("ok_mutex_suppressed.cpp"), [])
+
+    def test_line_suppression_obs_args(self):
+        self.assertEqual(checks_fired("ok_obs_args_suppressed.cpp"), [])
+
+    def test_unmarked_file_out_of_scope(self):
+        self.assertEqual(checks_fired("ok_unordered_unmarked.cpp"), [])
+
+    def test_pure_obs_args_clean(self):
+        self.assertEqual(checks_fired("ok_obs_args_pure.cpp"), [])
+
+    def test_clean_header(self):
+        self.assertEqual(checks_fired("ok_header.hpp"), [])
+
+    def test_tokens_in_prose_never_fire(self):
+        self.assertEqual(checks_fired("ok_tokens_in_prose.cpp"), [])
+
+    def test_bad_suppressions_are_findings_and_do_not_silence(self):
+        findings, errors = run_fixture("fire_bad_suppression.cpp")
+        self.assertEqual({e.check for e in errors}, {"suppression-syntax"})
+        self.assertEqual(len(errors), 2)  # missing reason + unknown check
+        # The malformed suppressions must not silence the real finding.
+        self.assertEqual({f.check for f in findings}, {"annotated-mutex-only"})
+
+
+class CliContractTest(unittest.TestCase):
+    """Exit codes and report shape of the command-line entry point."""
+
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, str(CI_DIR / "dsn_slint.py"), *args],
+            capture_output=True, text=True)
+
+    def test_firing_fixture_fails_strict_passes_advisory(self):
+        target = str(FIXTURES / "fire_mutex.cpp")
+        self.assertEqual(self.run_cli(target).returncode, 0)
+        strict = self.run_cli("--strict", target)
+        self.assertEqual(strict.returncode, 1)
+        self.assertIn("annotated-mutex-only", strict.stderr)
+
+    def test_bad_suppression_fails_even_without_strict(self):
+        result = self.run_cli(str(FIXTURES / "fire_bad_suppression.cpp"))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("suppression-syntax", result.stderr)
+
+    def test_json_report_shape(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "report.json"
+            self.run_cli("--strict", "--json", str(out),
+                         str(FIXTURES / "fire_unordered.cpp"))
+            report = json.loads(out.read_text())
+        self.assertEqual(sorted(report), ["checked_files", "findings", "strict"])
+        self.assertEqual(report["checked_files"], 1)
+        self.assertTrue(report["strict"])
+        for finding in report["findings"]:
+            self.assertEqual(sorted(finding),
+                             ["check", "file", "line", "message"])
+            self.assertEqual(finding["check"], "no-unordered-in-deterministic")
+
+    def test_list_checks_names_every_check(self):
+        result = self.run_cli("--list-checks")
+        self.assertEqual(result.returncode, 0)
+        for name in dsn_slint.CHECKS:
+            self.assertIn(name, result.stdout)
+
+    def test_unknown_path_is_usage_error(self):
+        self.assertEqual(self.run_cli("/no/such/dir").returncode, 2)
+
+    def test_repo_tree_is_clean(self):
+        # The gate CI enforces: src/ and tools/ hold zero findings.
+        result = self.run_cli("--strict", "--root", str(REPO_ROOT),
+                              str(REPO_ROOT / "src"), str(REPO_ROOT / "tools"))
+        self.assertEqual(result.returncode, 0,
+                         f"tree not slint-clean:\n{result.stderr}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

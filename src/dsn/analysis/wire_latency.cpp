@@ -1,7 +1,7 @@
 #include "dsn/analysis/wire_latency.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include "dsn/common/mutex.hpp"
 
 #include "dsn/common/thread_pool.hpp"
 #include "dsn/graph/metrics.hpp"
@@ -24,7 +24,7 @@ WireLatencyStats estimate_wire_latency(const Topology& topo,
     link_m[l] = layout.cable_length_m(u, v);
   }
 
-  std::mutex merge;
+  Mutex merge;
   double hops_sum = 0.0, cable_sum = 0.0, lat_sum = 0.0, lat_max = 0.0;
 
   parallel_for(0, n, [&](std::size_t src) {
@@ -72,7 +72,7 @@ WireLatencyStats estimate_wire_latency(const Topology& topo,
         local_max = std::max(local_max, lat);
       }
     }
-    std::scoped_lock lock(merge);
+    LockGuard lock(merge);
     hops_sum += local_hops;
     cable_sum += local_cable;
     lat_sum += local_lat;

@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — output feeds byte-identical replay/merge gates;
+// traversal order here must be a function of the data, never a hash seed.
 #include "dsn/common/json.hpp"
 
 #include <cctype>

@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — output feeds byte-identical replay/merge gates;
+// traversal order here must be a function of the data, never a hash seed.
 // Minimal JSON value type with a parser and serializer, used for the
 // machine-readable reports of dsn-lint (and their round-trip tests). Objects
 // preserve insertion order so dump(parse(dump(x))) == dump(x) holds exactly.

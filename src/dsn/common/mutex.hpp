@@ -1,0 +1,85 @@
+// Annotated mutual-exclusion primitives: the only lock types dsn code uses.
+//
+// dsn::Mutex wraps std::mutex and carries the Clang Thread Safety Analysis
+// `capability` attribute, so fields declared DSN_GUARDED_BY(some_mutex_) are
+// compile-time checked against it under the `tsa` preset. dsn::LockGuard is
+// the RAII critical section (a scoped capability), and dsn::CondVar pairs
+// with LockGuard for condition waits. Naked std::mutex / std::lock_guard /
+// std::condition_variable elsewhere in src/ or tools/ is a dsn-slint
+// violation (`annotated-mutex-only`): an unannotated lock is invisible to the
+// analysis, which silently un-checks every field it guards.
+//
+// Condition predicates are written as explicit while loops at the call site
+// (`while (!ready_) cv_.wait(lock);`) rather than the predicate-lambda
+// overload: the analysis cannot see through a lambda that std::condition_
+// variable::wait invokes internally, but it checks the while-loop body
+// normally. CondVar::wait deliberately has no predicate overload to make the
+// checked form the only form.
+//
+// dsn-slint-ignore-file(annotated-mutex-only): this header IS the wrapper.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "dsn/common/thread_annotations.hpp"
+
+namespace dsn {
+
+class CondVar;
+
+/// Annotated standard mutex. Prefer LockGuard over manual lock()/unlock().
+class DSN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DSN_ACQUIRE() { m_.lock(); }
+  void unlock() DSN_RELEASE() { m_.unlock(); }
+  bool try_lock() DSN_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class LockGuard;
+  std::mutex m_;
+};
+
+/// RAII critical section over a dsn::Mutex. Holds the lock for its whole
+/// lifetime (no early unlock; split the scope instead — smaller critical
+/// sections are the point).
+class DSN_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) DSN_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~LockGuard() DSN_RELEASE() = default;
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable only with LockGuard, keeping waits inside
+/// analysed critical sections. wait() can wake spuriously — always call it
+/// from a while loop re-checking the guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `guard`'s mutex and block; the mutex is reacquired
+  /// before returning. The capability is held again on return, which is what
+  /// the analysis assumes when the enclosing scope holds `guard`.
+  void wait(LockGuard& guard) { cv_.wait(guard.lock_); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dsn

@@ -1,0 +1,64 @@
+// Portable Clang Thread Safety Analysis annotation macros.
+//
+// Under clang with -Wthread-safety these expand to the capability attributes
+// the analysis consumes, turning lock discipline into a compile-time property:
+// a field declared DSN_GUARDED_BY(mutex_) cannot be read or written without
+// the mutex held, a function declared DSN_REQUIRES(mutex_) cannot be called
+// without it, and the `tsa` CMake preset promotes every finding to an error.
+// Under GCC/MSVC every macro expands to nothing, so annotated code builds
+// everywhere and the clang CI leg is the enforcement point.
+//
+// House rules (enforced by ci/dsn_slint.py check `annotated-mutex-only`):
+// lock-owning classes use dsn::Mutex/dsn::LockGuard from
+// dsn/common/mutex.hpp, never naked std::mutex, so every critical section in
+// the tree is visible to the analysis. See DESIGN.md §8 for the full
+// discipline, including when lock-free shard publication is preferred over a
+// capability and why such fields stay un-annotated.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define DSN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DSN_THREAD_ANNOTATION(x)
+#endif
+
+/// Class attribute: instances are capabilities (lockable objects).
+#define DSN_CAPABILITY(x) DSN_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII types whose constructor acquires and destructor
+/// releases a capability.
+#define DSN_SCOPED_CAPABILITY DSN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: may only be accessed while holding the given capability.
+#define DSN_GUARDED_BY(x) DSN_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer members: the pointed-to data is guarded (the pointer itself is not).
+#define DSN_PT_GUARDED_BY(x) DSN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: caller must hold the capability (exclusively / shared).
+#define DSN_REQUIRES(...) \
+  DSN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DSN_REQUIRES_SHARED(...) \
+  DSN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire/release the capability (lock()/unlock() and friends).
+#define DSN_ACQUIRE(...) DSN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DSN_ACQUIRE_SHARED(...) \
+  DSN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define DSN_RELEASE(...) DSN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DSN_RELEASE_SHARED(...) \
+  DSN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire only when returning `ret` (try_lock()).
+#define DSN_TRY_ACQUIRE(ret, ...) \
+  DSN_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Functions: caller must NOT hold the capability (deadlock prevention).
+#define DSN_EXCLUDES(...) DSN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions: returns a reference to the named capability.
+#define DSN_RETURN_CAPABILITY(x) DSN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. lock juggling across
+/// function boundaries). Use sparingly and leave a comment saying why.
+#define DSN_NO_THREAD_SAFETY_ANALYSIS \
+  DSN_THREAD_ANNOTATION(no_thread_safety_analysis)

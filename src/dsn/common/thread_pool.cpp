@@ -40,7 +40,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -49,7 +49,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     tasks_.push(std::move(task));
     DSN_OBS_GAUGE_SET(PoolMetrics::get().queue_depth,
                       static_cast<std::int64_t>(tasks_.size()));
@@ -61,7 +61,7 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   const std::size_t count = tasks.size();
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     for (auto& task : tasks) tasks_.push(std::move(task));
     DSN_OBS_GAUGE_SET(PoolMetrics::get().queue_depth,
                       static_cast<std::int64_t>(tasks_.size()));
@@ -86,8 +86,8 @@ thread_local ThreadPool* t_current_pool = nullptr;
 void ThreadPool::wait_idle() {
   DSN_REQUIRE(t_current_pool != this,
               "wait_idle called from a pool worker would deadlock");
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  LockGuard lock(mutex_);
+  while (!(tasks_.empty() && active_ == 0)) cv_idle_.wait(lock);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -100,8 +100,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      LockGuard lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -116,7 +116,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       task();
     }
     {
-      std::unique_lock lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
     }
@@ -140,10 +140,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
   std::size_t done = 0;  // guarded by done_mutex
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  std::exception_ptr first_error;  // guarded by error_mutex
+  Mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   std::vector<std::function<void()>> batch;
   batch.reserve((total + chunk_size - 1) / chunk_size);
@@ -154,14 +154,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::scoped_lock el(error_mutex);
+        LockGuard el(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       // Increment and notify while holding the lock: once the waiter observes
       // done == submitted it returns and destroys done_cv, so a notify after
       // releasing the mutex would race with that destruction (use-after-free,
       // caught by TSan).
-      std::scoped_lock dl(done_mutex);
+      LockGuard dl(done_mutex);
       ++done;
       done_cv.notify_one();
     });
@@ -169,8 +169,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t submitted = batch.size();
   submit_batch(std::move(batch));
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == submitted; });
+  LockGuard lock(done_mutex);
+  while (done != submitted) done_cv.wait(lock);
   if (first_error) std::rethrow_exception(first_error);
 }
 

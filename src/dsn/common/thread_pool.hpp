@@ -2,13 +2,14 @@
 // all-pairs BFS sweeps and per-point experiment sweeps across cores.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "dsn/common/mutex.hpp"
+#include "dsn/common/thread_annotations.hpp"
 
 namespace dsn {
 
@@ -53,13 +54,16 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t index);
 
+  /// Written only by the constructor; immutable (and lock-free to read)
+  /// for the pool's whole concurrent lifetime.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ DSN_GUARDED_BY(mutex_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t active_ DSN_GUARDED_BY(mutex_) = 0;
+  bool stop_ DSN_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience free function running on the global pool.

@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — output feeds byte-identical replay/merge gates;
+// traversal order here must be a function of the data, never a hash seed.
 #include "dsn/obs/metrics.hpp"
 
 #include <algorithm>
@@ -88,7 +90,7 @@ MetricId MetricsRegistry::histogram(const std::string& name,
 
 MetricId MetricsRegistry::register_metric(const std::string& name, MetricKind kind,
                                           std::vector<std::uint64_t> bounds) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (std::uint32_t i = 0; i < descriptors_.size(); ++i) {
     if (descriptors_[i].name != name) continue;
     DSN_REQUIRE(descriptors_[i].kind == kind,
@@ -134,7 +136,7 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
   if (idx >= kMaxThreadShards) return overflow_shard_;
   Shard* s = shards_[idx].load(std::memory_order_acquire);
   if (s != nullptr) return *s;
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   s = shards_[idx].load(std::memory_order_relaxed);
   if (s == nullptr) {
     auto fresh = std::make_unique<Shard>(kMaxSlots);
@@ -222,7 +224,7 @@ Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   const std::uint32_t count = num_descriptors_.load(std::memory_order_acquire);
   snap.metrics.reserve(count);
-  std::scoped_lock lock(mutex_);  // freeze registration + shard creation order
+  LockGuard lock(mutex_);  // freeze registration + shard creation order
   for (std::uint32_t i = 0; i < count; ++i) {
     const Descriptor& desc = descriptors_[i];
     MetricSnapshot m;
@@ -256,7 +258,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& holder : shards_) {
     Shard* s = holder.load(std::memory_order_acquire);
     if (s == nullptr) continue;

@@ -19,9 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "dsn/common/mutex.hpp"
+#include "dsn/common/thread_annotations.hpp"
 
 namespace dsn::obs {
 
@@ -132,17 +134,23 @@ class MetricsRegistry {
   Shard& shard_for_current_thread();
   std::uint64_t shard_sum(std::uint32_t slot) const;
 
-  mutable std::mutex mutex_;
-  std::vector<Descriptor> descriptors_;            ///< reserved kMaxMetrics, append-only
+  mutable Mutex mutex_;
+  /// Append-only, reserved to kMaxMetrics (never reallocates). Mutated only
+  /// under mutex_, but deliberately NOT annotated DSN_GUARDED_BY: the hot
+  /// update path reads the prefix published through the num_descriptors_
+  /// acquire/release pair without taking the lock. This is the lock-free
+  /// publication pattern DESIGN.md §8 describes; the capability model cannot
+  /// express "writers locked, readers publication-ordered".
+  std::vector<Descriptor> descriptors_;
   std::atomic<std::uint32_t> num_descriptors_{0};  ///< published count for lock-free reads
-  std::uint32_t next_slot_ = 0;
+  std::uint32_t next_slot_ DSN_GUARDED_BY(mutex_) = 0;
 
   std::array<std::atomic<Shard*>, kMaxThreadShards> shards_{};
-  std::vector<std::unique_ptr<Shard>> owned_shards_;  ///< guarded by mutex_
+  std::vector<std::unique_ptr<Shard>> owned_shards_ DSN_GUARDED_BY(mutex_);
   Shard overflow_shard_;
 
   std::unique_ptr<GaugeCell[]> gauges_;  ///< kMaxMetrics cells
-  std::uint32_t next_gauge_ = 0;
+  std::uint32_t next_gauge_ DSN_GUARDED_BY(mutex_) = 0;
 };
 
 /// Runtime collection switch. Seeded from the DSN_OBS environment variable

@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — output feeds byte-identical replay/merge gates;
+// traversal order here must be a function of the data, never a hash seed.
 #include "dsn/obs/trace.hpp"
 
 #include <cstdio>
@@ -52,7 +54,7 @@ double TraceWriter::now_us() const {
 }
 
 void TraceWriter::push(Event event) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -82,12 +84,12 @@ void TraceWriter::name_thread(std::uint32_t tid, const std::string& name) {
 }
 
 std::size_t TraceWriter::num_events() const {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   return events_.size();
 }
 
 std::string TraceWriter::to_json() const {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const Event& e : events_) {
@@ -130,14 +132,15 @@ void TraceWriter::write_file(const std::string& path) const {
 namespace {
 
 struct TraceState {
-  std::mutex mutex;
+  Mutex mutex;
   std::atomic<TraceWriter*> active{nullptr};
   // Writers are never destroyed: spans capture raw pointers at construction
   // and may fire their E event after stop_trace. A trace session is a
   // handful of writers per process, so the leak is bounded and deliberate.
-  std::vector<std::unique_ptr<TraceWriter>> writers;
-  std::mutex names_mutex;
-  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  std::vector<std::unique_ptr<TraceWriter>> writers DSN_GUARDED_BY(mutex);
+  Mutex names_mutex;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names
+      DSN_GUARDED_BY(names_mutex);
 };
 
 TraceState& trace_state() {
@@ -153,14 +156,14 @@ TraceWriter* active_trace() {
 
 TraceWriter& start_trace() {
   TraceState& state = trace_state();
-  std::scoped_lock lock(state.mutex);
+  LockGuard lock(state.mutex);
   auto writer = std::make_unique<TraceWriter>();
   TraceWriter* raw = writer.get();
   state.writers.push_back(std::move(writer));
   {
     // Replay remembered thread names so tracks started before this writer
     // (e.g. pool workers spawned at startup) are still labelled.
-    std::scoped_lock names_lock(state.names_mutex);
+    LockGuard names_lock(state.names_mutex);
     for (const auto& [tid, name] : state.thread_names) {
       raw->name_thread(tid, name);
     }
@@ -171,19 +174,40 @@ TraceWriter& start_trace() {
 
 bool stop_trace(const std::string& path) {
   TraceState& state = trace_state();
-  std::scoped_lock lock(state.mutex);
-  TraceWriter* writer = state.active.load(std::memory_order_acquire);
-  if (writer == nullptr) return false;
-  state.active.store(nullptr, std::memory_order_release);
+  TraceWriter* writer = nullptr;
+  {
+    // Only the detach happens under the state lock; serialising to disk can
+    // take milliseconds and must not block start_trace or thread renames.
+    // The retired writer is immortal (see TraceState::writers) and has its
+    // own mutex, so writing it outside the state lock is safe even while
+    // straggler spans still append events.
+    LockGuard lock(state.mutex);
+    writer = state.active.load(std::memory_order_acquire);
+    if (writer == nullptr) return false;
+    state.active.store(nullptr, std::memory_order_release);
+  }
   writer->write_file(path);
   return true;
 }
 
 void set_current_thread_name(const std::string& name) {
   TraceState& state = trace_state();
+  const std::uint32_t tid = thread_index();
   {
-    std::scoped_lock names_lock(state.names_mutex);
-    state.thread_names.emplace_back(thread_index(), name);
+    // Last-wins per tid: a thread renaming itself replaces its remembered
+    // entry instead of appending, so writers started later replay exactly
+    // one (current) name per track and repeated renames cannot grow the
+    // list without bound.
+    LockGuard names_lock(state.names_mutex);
+    bool replaced = false;
+    for (auto& [known_tid, known_name] : state.thread_names) {
+      if (known_tid == tid) {
+        known_name = name;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) state.thread_names.emplace_back(tid, name);
   }
   TraceWriter* writer = active_trace();
   if (writer != nullptr) writer->name_current_thread(name);

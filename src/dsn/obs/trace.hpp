@@ -18,9 +18,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "dsn/common/mutex.hpp"
+#include "dsn/common/thread_annotations.hpp"
 
 namespace dsn::obs {
 
@@ -66,8 +68,8 @@ class TraceWriter {
 
   void push(Event event);
 
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ DSN_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,7 +1,7 @@
 #include "dsn/routing/dor.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include "dsn/common/mutex.hpp"
 
 #include "dsn/common/math.hpp"
 #include "dsn/common/thread_pool.hpp"
@@ -75,7 +75,7 @@ NodeId torus_dor_next_hop(const Topology& topo, NodeId s, NodeId t) {
 RoutingScan scan_torus_dor(const Topology& topo) {
   const NodeId n = topo.num_nodes();
   RoutingScan scan;
-  std::mutex merge;
+  Mutex merge;
   std::uint64_t total = 0;
   parallel_for(0, n, [&](std::size_t s) {
     std::uint32_t local_max = 0;
@@ -87,7 +87,7 @@ RoutingScan scan_torus_dor(const Topology& topo) {
       local_max = std::max(local_max, hops);
       local_total += hops;
     }
-    std::scoped_lock lock(merge);
+    LockGuard lock(merge);
     scan.max_hops = std::max(scan.max_hops, local_max);
     total += local_total;
   });

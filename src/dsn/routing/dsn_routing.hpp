@@ -6,7 +6,7 @@
 #pragma once
 
 #include <algorithm>
-#include <mutex>
+#include "dsn/common/mutex.hpp"
 
 #include "dsn/common/thread_pool.hpp"
 #include "dsn/routing/route.hpp"
@@ -64,7 +64,7 @@ void validate_route(const Dsn& dsn, const Route& route);
 template <typename RouteFn>
 RoutingScan scan_all_pairs_fn(NodeId n, const RouteFn& route_fn) {
   RoutingScan scan;
-  std::mutex merge;
+  Mutex merge;
   std::uint64_t total = 0;
   parallel_for(0, n, [&](std::size_t s) {
     std::uint32_t local_max = 0;
@@ -77,7 +77,7 @@ RoutingScan scan_all_pairs_fn(NodeId n, const RouteFn& route_fn) {
       local_total += r.length();
       local_fallbacks += r.used_fallback ? 1 : 0;
     }
-    std::scoped_lock lock(merge);
+    LockGuard lock(merge);
     scan.max_hops = std::max(scan.max_hops, local_max);
     total += local_total;
     scan.fallback_routes += local_fallbacks;

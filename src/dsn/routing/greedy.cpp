@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
+#include "dsn/common/mutex.hpp"
 
 #include "dsn/common/thread_pool.hpp"
 
@@ -61,7 +61,7 @@ RoutingScan scan_greedy_grid(const Topology& topo) {
   const std::uint32_t side = topo.dims[0];
   const CsrView csr(topo.graph);
   RoutingScan scan;
-  std::mutex merge;
+  Mutex merge;
   std::uint64_t total = 0;
   parallel_for(0, n, [&](std::size_t s) {
     std::uint32_t local_max = 0;
@@ -73,7 +73,7 @@ RoutingScan scan_greedy_grid(const Topology& topo) {
       local_max = std::max(local_max, hops);
       local_total += hops;
     }
-    std::scoped_lock lock(merge);
+    LockGuard lock(merge);
     scan.max_hops = std::max(scan.max_hops, local_max);
     total += local_total;
   });

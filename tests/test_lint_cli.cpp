@@ -6,8 +6,10 @@
 
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "dsn/common/json.hpp"
 #include "dsn/routing/cdg.hpp"
@@ -22,9 +24,11 @@ struct CliResult {
 };
 
 /// Run dsn-lint with the given arguments, capturing stdout (stderr is routed
-/// to stdout so usage errors are observable too).
-CliResult run_lint(const std::string& args) {
-  const std::string cmd = std::string(DSN_LINT_PATH) + " " + args + " 2>&1";
+/// to stdout so usage errors are observable too). `env_prefix` lets callers
+/// pin environment variables, e.g. "DSN_THREADS=4".
+CliResult run_lint(const std::string& args, const std::string& env_prefix = {}) {
+  const std::string cmd = (env_prefix.empty() ? "" : env_prefix + " ") +
+                          std::string(DSN_LINT_PATH) + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return {};
   CliResult result;
@@ -141,6 +145,72 @@ TEST(LintCli, HumanWitnessRendersChannelChain) {
 // --------------------------------------------------------------------------
 // load subcommand.
 // --------------------------------------------------------------------------
+
+// --------------------------------------------------------------------------
+// stats determinism across thread counts (part of `ctest -L determinism`).
+// --------------------------------------------------------------------------
+
+/// Canonical projection of a `stats --json` report: stage order plus, sorted
+/// by metric name, the (name, kind) schema of the final snapshot and the
+/// values of every thread-count-invariant metric. Wall-clock counters (*_ns)
+/// and pool/shard accounting legitimately vary with the worker count and the
+/// scheduler; everything else — topology, analyzer, simulator, MS-BFS batch
+/// counts — must not.
+std::string stats_determinism_projection(const Json& doc) {
+  std::string out = "stages:";
+  const Json& stages = doc.at("stages");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    out += " " + stages.at(i).at("stage").as_string();
+  }
+  out += "\n";
+  const auto invariant = [](const std::string& name) {
+    if (name.find("_ns") != std::string::npos) return false;
+    if (name.rfind("dsn.pool.", 0) == 0) return false;
+    if (name.find("shard") != std::string::npos) return false;
+    return true;
+  };
+  std::vector<std::string> lines;
+  const Json& metrics = doc.at("metrics");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Json& m = metrics.at(i);
+    const std::string name = m.at("name").as_string();
+    const std::string kind = m.at("kind").as_string();
+    std::string line = name + " " + kind;
+    if (invariant(name)) {
+      if (kind == "counter") {
+        line += " value=" + std::to_string(m.at("value").as_int());
+      } else if (kind == "gauge") {
+        line += " max=" + std::to_string(m.at("max").as_int());
+      } else if (kind == "histogram") {
+        line += " count=" + std::to_string(m.at("count").as_int()) +
+                " sum=" + std::to_string(m.at("sum").as_int());
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+TEST(LintCliDeterminism, StatsJsonInvariantAcrossThreadCounts) {
+  // The same mini-workload pinned to 1, 4 and 8 pool workers must report a
+  // byte-identical projection: the shard-order-merge discipline means thread
+  // count may change timings, never schemas, stage order or logical totals.
+  std::vector<std::string> projections;
+  for (const char* threads : {"1", "4", "8"}) {
+    const CliResult r = run_lint(std::string("stats --n 64 --json"),
+                                 std::string("DSN_THREADS=") + threads);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    projections.push_back(stats_determinism_projection(Json::parse(r.output)));
+  }
+  EXPECT_EQ(projections[0], projections[1]);
+  EXPECT_EQ(projections[0], projections[2]);
+  // Sanity: the projection actually pins values, not just names.
+  EXPECT_NE(projections[0].find("dsn.topology.generated counter value="),
+            std::string::npos)
+      << projections[0];
+}
 
 TEST(LintCli, LoadReportsThroughputBoundAndThreshold) {
   const CliResult ok = run_lint("load --topology dsn-e --n 64 --json");

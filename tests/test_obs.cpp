@@ -181,6 +181,55 @@ TEST(Obs, StartStopTraceWritesBalancedFile) {
   EXPECT_FALSE(dsn::obs::stop_trace(path));
 }
 
+TEST(Obs, ThreadRenameReplaysOnlyTheLastNamePerThread) {
+  // Regression: set_current_thread_name used to append to the remembered
+  // name list on every call, so a writer started after N renames replayed N
+  // stale thread_name records for the same track (and the list grew without
+  // bound). The remembered state must be last-wins per tid.
+  const std::string path = testing::TempDir() + "dsn_obs_rename_replay.json";
+  dsn::obs::set_current_thread_name("stale-name-one");
+  dsn::obs::set_current_thread_name("stale-name-two");
+  dsn::obs::set_current_thread_name("final-name");
+  // The writer starts AFTER the renames, so every thread_name event it holds
+  // for this thread came from the remembered-state replay.
+  dsn::obs::start_trace();
+  ASSERT_TRUE(dsn::obs::stop_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(count_occurrences(json, "stale-name-one"), 0u) << json;
+  EXPECT_EQ(count_occurrences(json, "stale-name-two"), 0u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"final-name\""), 1u) << json;
+  std::remove(path.c_str());
+}
+
+TEST(Obs, RenamesDuringStopTraceDoNotDeadlockOrCorrupt) {
+  // Regression: stop_trace used to serialise the trace to disk while holding
+  // the trace-state lock, so a rename (or start_trace) landing mid-write
+  // blocked on file I/O. The detach now happens under the lock and the write
+  // after it; renames racing the write must complete and the file must still
+  // be well-formed JSON with balanced spans.
+  const std::string path = testing::TempDir() + "dsn_obs_stop_race.json";
+  dsn::obs::start_trace();
+  { dsn::obs::TracedSpan span("before-stop"); }
+  std::thread renamer([] {
+    for (int i = 0; i < 100; ++i) dsn::obs::set_current_thread_name("renamer");
+  });
+  ASSERT_TRUE(dsn::obs::stop_trace(path));
+  renamer.join();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(Obs, SpanSurvivesStopTraceOfItsWriter) {
   const std::string path = testing::TempDir() + "dsn_obs_trace_detach.json";
   dsn::obs::start_trace();
