@@ -39,6 +39,20 @@ string-stripped, so tokens in prose never fire):
       in a header (it leaks into every includer, at any scope a header can
       reasonably put it).
 
+  include-cycle
+      No cyclic #include chain among scanned project files. #pragma once
+      makes a cycle "work" by silently dropping one edge, so whichever
+      header happens to be opened first sees a half-declared world — the
+      classic source of works-in-this-TU-only breakage.
+
+  include-layering
+      Quoted includes must respect the module DAG rooted at src/dsn/:
+      common ← obs ← graph ← topology ← {layout, routing}; sim ← routing;
+      analysis ← {sim, layout}; check ← analysis (each module may also use
+      everything beneath its dependencies). dsn::obs is deliberately
+      cross-cutting: ANY module may include dsn/obs/* (instrumentation call
+      sites are macro-gated), while obs itself may only depend on common.
+
 Suppression syntax (a reason is mandatory; `reason`-less suppressions are
 reported as `suppression-syntax` findings, which are never suppressible):
 
@@ -71,6 +85,26 @@ CHECKS = {
         "side effect inside a DSN_OBS_* macro argument",
     "header-hygiene":
         "header missing #pragma once or polluting with using-namespace",
+    "include-cycle":
+        "cyclic #include chain among project files",
+    "include-layering":
+        "quoted include that violates the src/dsn module layering DAG",
+}
+
+# Direct module dependencies (src/dsn/<module>/). The check uses the
+# transitive closure, plus `obs` from everywhere (cross-cutting
+# instrumentation). Grow this table deliberately — every new edge is a
+# public architectural commitment.
+LAYER_DEPS = {
+    "common": set(),
+    "obs": {"common"},
+    "graph": {"common", "obs"},
+    "topology": {"graph"},
+    "layout": {"topology"},
+    "routing": {"topology"},
+    "sim": {"routing"},
+    "analysis": {"sim", "layout"},
+    "check": {"analysis"},
 }
 
 # The annotated-wrapper implementation is the single place allowed to touch
@@ -296,6 +330,162 @@ def obs_macro_args(stripped):
         yield m.group(1), stripped[m.end():i - 1], m.start()
 
 
+QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+MODULE_PATH = re.compile(r"(?:^|/)src/dsn/([^/]+)/")
+
+
+def module_of(rel_posix):
+    """src/dsn/<module>/... -> <module>; None for everything else
+    (tools, tests, the dsn.hpp umbrella, fixtures)."""
+    m = MODULE_PATH.search(rel_posix)
+    return m.group(1) if m is not None and m.group(1) in LAYER_DEPS else None
+
+
+def allowed_modules(module):
+    """Transitive closure of LAYER_DEPS plus the cross-cutting obs sink."""
+    seen, stack = set(), [module]
+    while stack:
+        for dep in LAYER_DEPS.get(stack.pop(), ()):
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+    seen.add("obs")
+    seen.discard(module)
+    return seen
+
+
+def _posix_normpath(path):
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == ".." and parts and parts[-1] != "..":
+            parts.pop()
+        else:
+            parts.append(part)
+    return "/".join(parts)
+
+
+def resolve_include(includer, target, files):
+    """Map one quoted include to a scanned file's rel path, or None.
+
+    `dsn/...` spellings resolve against src/ (the -Isrc convention);
+    anything else resolves relative to the including file. Unresolved
+    includes (system headers, files outside the scan set) produce no edge.
+    """
+    if target.startswith("dsn/"):
+        candidate = "src/" + target
+        if candidate in files:
+            return candidate
+    base = includer.rsplit("/", 1)[0] if "/" in includer else ""
+    candidate = _posix_normpath(f"{base}/{target}" if base else target)
+    return candidate if candidate in files else None
+
+
+def check_include_graph(files):
+    """Cross-file pass: include-cycle and include-layering findings.
+
+    `files` maps rel posix path -> raw text for every scanned file. Returns
+    findings only; suppression-syntax errors are already reported by the
+    per-file pass.
+    """
+    findings = []
+    sups = {}
+
+    def emit(check, rel, lineno, message):
+        if rel not in sups:
+            sups[rel] = Suppressions(rel, files[rel].splitlines())
+        if not sups[rel].active(check, lineno):
+            findings.append(Finding(check, rel, lineno, message))
+
+    # includes[rel] = [(lineno, written target, resolved rel-or-None)].
+    # The stripper blanks string contents (the include target itself), so
+    # match on the raw text and use the offset-preserving stripped text only
+    # to reject directives sitting inside comments.
+    includes = {}
+    for rel, text in files.items():
+        stripped = strip_comments_and_strings(text)
+        entries = []
+        for m in QUOTED_INCLUDE.finditer(text):
+            if m.start() < len(stripped) and stripped[m.start()] != "#":
+                continue  # commented-out include
+            target = m.group(1)
+            entries.append((line_of(text, m.start()), target,
+                            resolve_include(rel, target, files)))
+        includes[rel] = entries
+
+    # Layering: judged on the written `dsn/<module>/` spelling so it works
+    # even when the target file is outside the scanned subset.
+    for rel, entries in sorted(includes.items()):
+        src_module = module_of(rel)
+        if src_module is None:
+            continue
+        legal = allowed_modules(src_module)
+        for lineno, target, resolved in entries:
+            dst_module = (module_of("src/" + target)
+                          if target.startswith("dsn/")
+                          else module_of(resolved or ""))
+            if (dst_module is None or dst_module == src_module
+                    or dst_module in legal):
+                continue
+            emit("include-layering", rel, lineno,
+                 f"`{target}`: module `{src_module}` may not depend on "
+                 f"`{dst_module}` (allowed: {sorted(legal)}); move the "
+                 "shared piece down the DAG or grow LAYER_DEPS deliberately")
+
+    # Cycles: iterative DFS over resolved edges; a back edge to a file on
+    # the active stack closes a cycle. Each cycle is reported once, at the
+    # closing include of its lexicographically-smallest member.
+    edges = {rel: [(lineno, resolved)
+                   for lineno, _, resolved in entries if resolved is not None]
+             for rel, entries in includes.items()}
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in edges}
+    reported = set()
+
+    def walk(root):
+        stack = [(root, iter(edges[root]))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for lineno, dst in it:
+                if color[dst] == GREY:
+                    cycle = tuple(path[path.index(dst):])
+                    anchor = min(cycle)
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        idx = cycle.index(anchor)
+                        ordered = cycle[idx:] + cycle[:idx]
+                        successor = ordered[1] if len(ordered) > 1 else anchor
+                        anchor_line = next(
+                            (ln for ln, d in edges[anchor] if d == successor),
+                            lineno)
+                        chain = " -> ".join(ordered + (ordered[0],))
+                        emit("include-cycle", anchor, anchor_line,
+                             f"#include cycle: {chain}; break the loop with "
+                             "a forward declaration or by splitting the "
+                             "shared types out")
+                elif color[dst] == WHITE:
+                    color[dst] = GREY
+                    path.append(dst)
+                    stack.append((dst, iter(edges[dst])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+
+    for rel in sorted(edges):
+        if color[rel] == WHITE:
+            walk(rel)
+
+    return findings
+
+
 def iter_source_files(roots):
     for root in roots:
         if root.is_file():
@@ -339,6 +529,7 @@ def main(argv=None):
         return 2
 
     findings, errors, checked = [], [], 0
+    graph_files = {}
     for path in iter_source_files(roots):
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
@@ -352,7 +543,11 @@ def main(argv=None):
         file_findings, file_errors = check_file(path, rel, text)
         findings.extend(file_findings)
         errors.extend(file_errors)
+        graph_files[Path(rel).as_posix()] = text
         checked += 1
+
+    # Cross-file pass (cycles + layering) over everything just scanned.
+    findings.extend(check_include_graph(graph_files))
 
     findings.sort(key=lambda f: (str(f.path), f.line, f.check))
     all_reported = errors + findings

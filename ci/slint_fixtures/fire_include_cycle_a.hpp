@@ -1,0 +1,11 @@
+// FIRE fixture for include-cycle (with fire_include_cycle_b.hpp): the two
+// headers include each other. #pragma once makes this "work" by dropping
+// whichever edge is reached second, so each TU sees a different half of the
+// declarations.
+#pragma once
+
+#include "fire_include_cycle_b.hpp"
+
+struct CycleA {
+  int payload;
+};

@@ -1,0 +1,8 @@
+// Second half of the include-cycle FIRE fixture.
+#pragma once
+
+#include "fire_include_cycle_a.hpp"
+
+struct CycleB {
+  int payload;
+};

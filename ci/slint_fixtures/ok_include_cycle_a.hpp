@@ -1,0 +1,9 @@
+// OK fixture for include-cycle: a plain DAG — a includes b, b includes
+// nothing back. Must produce zero findings.
+#pragma once
+
+#include "ok_include_cycle_b.hpp"
+
+struct AcyclicA {
+  AcyclicB dependency;
+};

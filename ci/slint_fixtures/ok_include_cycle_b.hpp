@@ -1,0 +1,6 @@
+// Leaf of the include-cycle OK fixture.
+#pragma once
+
+struct AcyclicB {
+  int payload;
+};

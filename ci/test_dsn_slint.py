@@ -141,6 +141,94 @@ class SuppressionTest(unittest.TestCase):
         self.assertEqual({f.check for f in findings}, {"annotated-mutex-only"})
 
 
+class IncludeGraphTest(unittest.TestCase):
+    """Cross-file pass: include-cycle and include-layering."""
+
+    @staticmethod
+    def graph(files):
+        return dsn_slint.check_include_graph(files)
+
+    @staticmethod
+    def load(*names):
+        return {name: (FIXTURES / name).read_text() for name in names}
+
+    def test_mutual_include_cycle_fires_once(self):
+        findings = self.graph(self.load("fire_include_cycle_a.hpp",
+                                        "fire_include_cycle_b.hpp"))
+        self.assertEqual([f.check for f in findings], ["include-cycle"])
+        # Reported once, anchored at the lexicographically-first member,
+        # with the whole loop spelled out.
+        self.assertEqual(str(findings[0].path), "fire_include_cycle_a.hpp")
+        self.assertIn("fire_include_cycle_a.hpp -> fire_include_cycle_b.hpp "
+                      "-> fire_include_cycle_a.hpp", findings[0].message)
+
+    def test_acyclic_pair_is_clean(self):
+        self.assertEqual(self.graph(self.load("ok_include_cycle_a.hpp",
+                                              "ok_include_cycle_b.hpp")), [])
+
+    def test_self_include_fires(self):
+        findings = self.graph({"a.hpp": '#include "a.hpp"\n'})
+        self.assertEqual([f.check for f in findings], ["include-cycle"])
+
+    def test_three_file_cycle_reported_once(self):
+        files = {"a.hpp": '#include "b.hpp"\n',
+                 "b.hpp": '#include "c.hpp"\n',
+                 "c.hpp": '#include "a.hpp"\n'}
+        findings = self.graph(files)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("a.hpp -> b.hpp -> c.hpp -> a.hpp",
+                      findings[0].message)
+
+    def test_include_in_comment_never_creates_an_edge(self):
+        files = {"a.hpp": '// #include "b.hpp"\n',
+                 "b.hpp": '#include "a.hpp"\n'}
+        self.assertEqual(self.graph(files), [])
+
+    def test_cycle_suppressible_with_reason(self):
+        files = {
+            "a.hpp": ('// dsn-slint-ignore(include-cycle): legacy pair, '
+                      'tracked in ROADMAP\n#include "b.hpp"\n'),
+            "b.hpp": '#include "a.hpp"\n',
+        }
+        self.assertEqual(self.graph(files), [])
+
+    def test_layering_violation_fires_on_written_path(self):
+        # The sim/ header is NOT in the scanned set: layering is judged on
+        # the written `dsn/<module>/` spelling alone.
+        files = {"src/dsn/graph/g.hpp":
+                 '#pragma once\n#include "dsn/sim/packet.hpp"\n'}
+        findings = self.graph(files)
+        self.assertEqual([f.check for f in findings], ["include-layering"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("`graph` may not depend on `sim`", findings[0].message)
+
+    def test_layering_transitive_closure_allowed(self):
+        files = {"src/dsn/check/v.cpp":
+                 '#include "dsn/common/types.hpp"\n'
+                 '#include "dsn/routing/route.hpp"\n'}
+        self.assertEqual(self.graph(files), [])
+
+    def test_obs_is_cross_cutting_but_restricted_itself(self):
+        ok = {"src/dsn/common/thread_pool.cpp":
+              '#include "dsn/obs/obs.hpp"\n'}
+        self.assertEqual(self.graph(ok), [])
+        bad = {"src/dsn/obs/trace.cpp": '#include "dsn/graph/graph.hpp"\n'}
+        findings = self.graph(bad)
+        self.assertEqual([f.check for f in findings], ["include-layering"])
+
+    def test_non_module_files_exempt_from_layering(self):
+        files = {"tools/dsn_lint.cpp": '#include "dsn/sim/packet.hpp"\n',
+                 "tests/test_sim.cpp": '#include "dsn/analysis/factory.hpp"\n'}
+        self.assertEqual(self.graph(files), [])
+
+    def test_layer_table_matches_reality(self):
+        # Every module directory under src/dsn/ must appear in LAYER_DEPS,
+        # so a new module cannot silently dodge the layering gate.
+        modules = sorted(p.name for p in (REPO_ROOT / "src" / "dsn").iterdir()
+                         if p.is_dir())
+        self.assertEqual(modules, sorted(dsn_slint.LAYER_DEPS))
+
+
 class CliContractTest(unittest.TestCase):
     """Exit codes and report shape of the command-line entry point."""
 

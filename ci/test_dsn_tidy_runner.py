@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/dsn-tidy/run_dsn_tidy.py, run as a ctest
+(`dsn_tidy.runner_selftest`) and in the static-analysis CI job.
+
+The real plugin needs a pinned clang toolchain (CI builds and runs it); this
+file pins everything that does NOT need clang:
+
+  * diagnostic parsing, dedup, SARIF shape;
+  * the fixture-pairing contract (every check has a fire/ok twin);
+  * the gate semantics of `fixtures` and `scan`, driven through a fake
+    clang-tidy — including the negative control: a plugin whose checks go
+    dead MUST fail the gate;
+  * the two-tier comparison the suite exists for: the dsn-tidy fire fixtures
+    for semantic checks are invisible to the token-level dsn-slint lexer.
+"""
+import importlib.util
+import json
+import os
+import re
+import stat
+import subprocess
+import sys
+import tempfile
+import textwrap
+import unittest
+from pathlib import Path
+
+CI_DIR = Path(__file__).resolve().parent
+REPO_ROOT = CI_DIR.parent
+TIDY_DIR = REPO_ROOT / "tools" / "dsn-tidy"
+FIXTURES = TIDY_DIR / "fixtures"
+
+sys.path.insert(0, str(CI_DIR))
+import dsn_slint  # noqa: E402
+
+# tools/dsn-tidy has a dash, so import the runner by path.
+_spec = importlib.util.spec_from_file_location(
+    "run_dsn_tidy", TIDY_DIR / "run_dsn_tidy.py")
+run_dsn_tidy = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_dsn_tidy)
+
+EXPECTED_CHECKS = [
+    "dsn-deterministic-container",
+    "dsn-guarded-member",
+    "dsn-index-narrowing",
+    "dsn-lock-scope-purity",
+    "dsn-unseeded-rng",
+]
+
+# A stand-in clang-tidy that honours the argv contract the runner uses
+# (--load=, --checks=-*,<check>, sources, `--`, compile flags) and fires on
+# fire_* sources exactly like a healthy plugin would. FAKE_TIDY_DEAD
+# simulates a plugin whose matchers silently stopped matching;
+# FAKE_TIDY_NOISY one that flags clean code; FAKE_TIDY_BROKEN a fixture that
+# no longer parses.
+FAKE_CLANG_TIDY = textwrap.dedent("""\
+    #!/usr/bin/env python3
+    import os, re, sys
+
+    args = sys.argv[1:]
+    if "--" in args:
+        args = args[:args.index("--")]
+    enabled = ""
+    sources = []
+    for a in args:
+        if a.startswith("--checks="):
+            enabled = a.split(",", 1)[1] if "," in a else ""
+        elif not a.startswith("-"):
+            sources.append(a)
+    for src in sources:
+        stem = os.path.splitext(os.path.basename(src))[0]
+        check = "dsn-" + re.sub(r"^(fire|ok)_", "", stem).replace("_", "-")
+        if os.environ.get("FAKE_TIDY_BROKEN"):
+            print(f"{src}:1:1: error: expected ';' after top level declarator")
+            continue
+        fires = stem.startswith("fire_") or (
+            stem.startswith("ok_") and os.environ.get("FAKE_TIDY_NOISY"))
+        if os.environ.get("FAKE_TIDY_DEAD"):
+            fires = False
+        wanted = enabled in ("dsn-*", check)
+        if fires and wanted:
+            print(f"{src}:3:5: warning: synthetic finding [{check}]")
+            print(f"{src}:3:5: warning: synthetic finding [{check}]")
+    sys.exit(0)
+    """)
+
+
+def make_fake_clang_tidy(tmpdir):
+    fake = Path(tmpdir) / "fake-clang-tidy"
+    fake.write_text(FAKE_CLANG_TIDY)
+    fake.chmod(fake.stat().st_mode | stat.S_IXUSR)
+    return fake
+
+
+def run_runner(argv, env_extra=None):
+    env = dict(os.environ)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, str(TIDY_DIR / "run_dsn_tidy.py"), *argv],
+        capture_output=True, text=True, env=env)
+
+
+class DiagnosticParseTest(unittest.TestCase):
+    def test_parses_and_dedups(self):
+        text = ("/a/b.cpp:12:5: warning: msg one [dsn-unseeded-rng]\n"
+                "/a/b.cpp:12:5: warning: msg one [dsn-unseeded-rng]\n"
+                "note: expanded from here\n"
+                "/a/b.cpp:20:1: warning: msg two [dsn-guarded-member]\n")
+        findings = run_dsn_tidy.parse_diagnostics(text)
+        self.assertEqual(
+            [(f.check, f.line) for f in findings],
+            [("dsn-unseeded-rng", 12), ("dsn-guarded-member", 20)])
+
+    def test_bare_error_becomes_pseudo_check(self):
+        findings = run_dsn_tidy.parse_diagnostics(
+            "/a/b.cpp:1:1: error: expected ';'\n")
+        self.assertEqual(findings[0].check, "clang-diagnostic-error")
+        self.assertEqual(findings[0].level, "error")
+
+    def test_prose_lines_ignored(self):
+        text = ("Suppressed 12 warnings.\n"
+                "Use -header-filter=.* to display errors.\n")
+        self.assertEqual(run_dsn_tidy.parse_diagnostics(text), [])
+
+    def test_comma_joined_checks_split(self):
+        findings = run_dsn_tidy.parse_diagnostics(
+            "/a/b.cpp:4:2: warning: m [dsn-index-narrowing,dsn-unseeded-rng]\n")
+        self.assertEqual(sorted(f.check for f in findings),
+                         ["dsn-index-narrowing", "dsn-unseeded-rng"])
+
+
+class SarifTest(unittest.TestCase):
+    def test_shape(self):
+        findings = run_dsn_tidy.parse_diagnostics(
+            "/a/b.cpp:12:5: warning: msg [dsn-unseeded-rng]\n")
+        doc = run_dsn_tidy.to_sarif(findings)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "dsn-tidy")
+        self.assertEqual(run["tool"]["driver"]["rules"],
+                         [{"id": "dsn-unseeded-rng"}])
+        result = run["results"][0]
+        self.assertEqual(result["ruleId"], "dsn-unseeded-rng")
+        loc = result["locations"][0]["physicalLocation"]
+        self.assertEqual(loc["artifactLocation"]["uri"], "/a/b.cpp")
+        self.assertEqual(loc["region"], {"startLine": 12, "startColumn": 5})
+
+    def test_empty_run_serializes(self):
+        doc = run_dsn_tidy.to_sarif([])
+        self.assertEqual(doc["runs"][0]["results"], [])
+        json.dumps(doc)  # must be serializable
+
+
+class FixtureContractTest(unittest.TestCase):
+    def test_every_check_has_fire_and_ok_twin(self):
+        pairs = run_dsn_tidy.fixture_pairs(FIXTURES)
+        self.assertEqual([check for check, _, _ in pairs], EXPECTED_CHECKS)
+
+    def test_unpaired_fixture_is_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "fire_orphan.cpp").write_text("int x;\n")
+            with self.assertRaises(SystemExit):
+                run_dsn_tidy.fixture_pairs(tmp)
+
+    def test_name_mapping(self):
+        self.assertEqual(
+            run_dsn_tidy.check_name_for_fixture(
+                Path("fire_lock_scope_purity.cpp")),
+            "dsn-lock-scope-purity")
+        self.assertEqual(
+            run_dsn_tidy.check_name_for_fixture(Path("ok_unseeded_rng.cpp")),
+            "dsn-unseeded-rng")
+
+    def test_index_narrowing_fixtures_live_in_scoped_dir(self):
+        # The check is dir-scoped; its fixtures must sit under sim/ or the
+        # real plugin would never visit them.
+        pairs = dict((c, (f, o)) for c, f, o in
+                     run_dsn_tidy.fixture_pairs(FIXTURES))
+        fire, ok = pairs["dsn-index-narrowing"]
+        self.assertEqual(fire.parent.name, "sim")
+        self.assertEqual(ok.parent.name, "sim")
+
+
+class FixturesGateTest(unittest.TestCase):
+    """Gate semantics through the fake clang-tidy."""
+
+    def gate(self, env_extra=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            fake = make_fake_clang_tidy(tmp)
+            return run_runner(
+                ["fixtures", "--clang-tidy", str(fake),
+                 "--plugin", "/nonexistent/libdsn_tidy.so",
+                 "--fixture-dir", str(FIXTURES)],
+                env_extra)
+
+    def test_healthy_plugin_passes(self):
+        proc = self.gate()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("dsn-tidy fixtures: PASS", proc.stdout)
+
+    def test_dead_check_fails_gate(self):
+        proc = self.gate({"FAKE_TIDY_DEAD": "1"})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("gone dead", proc.stderr)
+
+    def test_noisy_check_fails_gate(self):
+        proc = self.gate({"FAKE_TIDY_NOISY": "1"})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("fired on its ok fixture", proc.stderr)
+
+    def test_unparseable_fixture_fails_gate(self):
+        proc = self.gate({"FAKE_TIDY_BROKEN": "1"})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("does not parse", proc.stderr)
+
+
+class ScanGateTest(unittest.TestCase):
+    def test_findings_fail_and_emit_sarif(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fake = make_fake_clang_tidy(tmp)
+            sarif = Path(tmp) / "out.sarif"
+            proc = run_runner(
+                ["scan", "--clang-tidy", str(fake), "--plugin", "p.so",
+                 "--sarif", str(sarif),
+                 str(FIXTURES / "fire_unseeded_rng.cpp")])
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("dsn-tidy scan: FAIL", proc.stdout)
+            doc = json.loads(sarif.read_text())
+            self.assertEqual(doc["runs"][0]["results"][0]["ruleId"],
+                             "dsn-unseeded-rng")
+
+    def test_clean_tree_passes_with_empty_sarif(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fake = make_fake_clang_tidy(tmp)
+            sarif = Path(tmp) / "out.sarif"
+            proc = run_runner(
+                ["scan", "--clang-tidy", str(fake), "--plugin", "p.so",
+                 "--sarif", str(sarif),
+                 str(FIXTURES / "ok_unseeded_rng.cpp")])
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertIn("dsn-tidy scan: PASS", proc.stdout)
+            self.assertEqual(
+                json.loads(sarif.read_text())["runs"][0]["results"], [])
+
+    def test_directory_argument_recurses(self):
+        sources = run_dsn_tidy.collect_sources([FIXTURES])
+        names = {p.name for p in sources}
+        self.assertIn("fire_index_narrowing.cpp", names)  # nested in sim/
+        self.assertIn("fire_unseeded_rng.cpp", names)
+
+    def test_missing_path_is_fatal(self):
+        with self.assertRaises(SystemExit):
+            run_dsn_tidy.collect_sources(["/nonexistent/nowhere"])
+
+
+class LexerBlindSpotTest(unittest.TestCase):
+    """The committed comparison the two-tier design rests on: these fire
+    fixtures are real violations the AST checks catch, yet the token-level
+    dsn-slint scanner reports NOTHING on them — aliased/auto-deduced
+    unordered containers and narrowing via template instantiation have no
+    token for a lexer to see."""
+
+    def slint(self, rel):
+        path = FIXTURES / rel
+        findings, errors = dsn_slint.check_file(
+            path, f"tools/dsn-tidy/fixtures/{rel}", path.read_text())
+        return findings, errors
+
+    def test_aliased_containers_invisible_to_slint(self):
+        # fire_deterministic_container.cpp carries the deterministic marker
+        # and four unordered-container uses — through an alias, an alias
+        # template, `auto`, and a return type. No literal "unordered" token
+        # appears, so slint's no-unordered-in-deterministic check is blind.
+        text = (FIXTURES / "fire_deterministic_container.cpp").read_text()
+        self.assertIn("dsn-slint: deterministic", text)
+        # No "unordered" token in actual code — only in comments, which the
+        # lexer strips, so there is nothing for slint to see.
+        self.assertNotIn(
+            "unordered", dsn_slint.strip_comments_and_strings(text))
+        findings, errors = self.slint("fire_deterministic_container.cpp")
+        self.assertEqual(findings, [], [f.render() for f in findings])
+        self.assertEqual(errors, [])
+
+    def test_template_narrowing_invisible_to_slint(self):
+        findings, errors = self.slint("sim/fire_index_narrowing.cpp")
+        self.assertEqual(findings, [], [f.render() for f in findings])
+        self.assertEqual(errors, [])
+
+    def test_spelled_out_token_IS_visible_to_slint(self):
+        # Control for the control: when the token is literally spelled in a
+        # marked file, slint does fire — the blind spot above is about
+        # spelling, not a broken scanner.
+        text = ("// dsn-slint: deterministic\n"
+                "#include <unordered_map>\n"
+                "std::unordered_map<int, int> index;\n")
+        findings, _ = dsn_slint.check_file(
+            Path("probe.cpp"), "probe.cpp", text)
+        self.assertIn("no-unordered-in-deterministic",
+                      {f.check for f in findings})
+
+
+class PluginSourceSanityTest(unittest.TestCase):
+    """Cheap structural pins on the C++ sources so a rename can't silently
+    desync the module registry, the fixtures, and the docs."""
+
+    def test_module_registers_every_check(self):
+        module = (TIDY_DIR / "DsnTidyModule.cpp").read_text()
+        for check in EXPECTED_CHECKS:
+            self.assertIn(f'"{check}"', module, check)
+
+    def test_cmake_is_gated_and_link_free(self):
+        cmake = (TIDY_DIR / "CMakeLists.txt").read_text()
+        self.assertIn("DSN_TIDY_PLUGIN", cmake)
+        # The plugin must NOT link LLVM/clang libs: symbols resolve from the
+        # hosting clang-tidy binary at --load time. Linking them in would
+        # duplicate command-line registries and abort at runtime. (The name
+        # may appear in comments; an actual call may not.)
+        self.assertIsNone(
+            re.search(r"^\s*target_link_libraries\s*\(", cmake, re.M))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — per-hop routing decisions replay byte-identically
+// from a seed; iteration order here is part of the contract.
 #include "dsn/routing/sim_routing.hpp"
 
 #include <algorithm>

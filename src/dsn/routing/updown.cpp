@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — route tables feed byte-identical replay and
+// shard-order merges; iteration order here is part of the contract.
 #include "dsn/routing/updown.hpp"
 
 #include <algorithm>

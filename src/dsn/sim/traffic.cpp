@@ -1,3 +1,5 @@
+// dsn-slint: deterministic — generated traffic must replay byte-identically
+// from a seed; iteration order here is part of the contract.
 #include "dsn/sim/traffic.hpp"
 
 #include <array>

@@ -1,0 +1,63 @@
+#include "DeterministicContainerCheck.h"
+
+#include "DsnTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+namespace {
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     unorderedContainerType) {
+  // Canonical-type matching is the whole point: after desugaring aliases,
+  // `auto`, and dependent sugar, the declaration behind the type is the
+  // std::unordered_* class template specialization itself.
+  return qualType(hasCanonicalType(hasDeclaration(cxxRecordDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set",
+      "::std::unordered_multimap", "::std::unordered_multiset")))));
+}
+
+}  // namespace
+
+void DeterministicContainerCheck::registerMatchers(MatchFinder *Finder) {
+  // Variables, fields and parameters of (possibly aliased) unordered type.
+  Finder->addMatcher(valueDecl(hasType(unorderedContainerType())).bind("decl"),
+                     this);
+  // The alias declarations themselves, so the fix lands where the type is
+  // introduced and not only where it is used.
+  Finder->addMatcher(
+      typedefNameDecl(hasType(unorderedContainerType())).bind("decl"), this);
+  // Functions returning an unordered container (callers will iterate it).
+  Finder->addMatcher(
+      functionDecl(returns(unorderedContainerType())).bind("decl"), this);
+}
+
+void DeterministicContainerCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *D = Result.Nodes.getNodeAs<NamedDecl>("decl");
+  if (D == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = D->getLocation();
+  if (!isProjectLocation(SM, Loc))
+    return;
+  // Only files that opted into determinism are in scope; the marker is the
+  // same one the dsn-slint token tier keys on.
+  const FileID FID = SM.getFileID(SM.getExpansionLoc(Loc));
+  if (!hasDeterministicMarker(SM, FID, MarkerCache))
+    return;
+  diag(Loc,
+       "%0 has an iteration-order-unstable canonical type in a "
+       "deterministic-marked file; hash-seeded order breaks byte-identical "
+       "replay — use std::map/std::set or a sorted vector")
+      << D;
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,35 @@
+// dsn-deterministic-container: bans iteration-order-unstable containers, by
+// canonical type, in files carrying the `// dsn-slint: deterministic` marker.
+//
+// The token-level dsn-slint tier already greps for the literal spelling
+// `std::unordered_map`; this check closes the holes a lexer cannot see:
+// type aliases (`using Index = std::unordered_map<...>`), `auto`-deduced
+// declarations, typedefs from other headers, and template instantiations
+// whose written spelling never mentions "unordered" at all.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseMap.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class DeterministicContainerCheck : public ClangTidyCheck {
+ public:
+  DeterministicContainerCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  llvm::DenseMap<FileID, bool> MarkerCache;
+};
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,48 @@
+// dsn-tidy: the semantic (clang AST) tier of the project's two-tier static
+// analysis. The token tier (ci/dsn_slint.py) runs everywhere in
+// milliseconds; this plugin loads into stock clang-tidy via
+//
+//   clang-tidy -load=libdsn_tidy.so -checks='-*,dsn-*' ...
+//
+// and enforces the same house invariants as *semantic* properties — through
+// type aliases, `auto`, template instantiation, and one level of the call
+// graph — plus the 64-bit index-safety rule the lexer cannot express.
+// See DESIGN.md §8 for the check table and the shared suppression policy.
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "DeterministicContainerCheck.h"
+#include "GuardedMemberCheck.h"
+#include "IndexNarrowingCheck.h"
+#include "LockScopePurityCheck.h"
+#include "UnseededRngCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class DsnTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<DeterministicContainerCheck>(
+        "dsn-deterministic-container");
+    CheckFactories.registerCheck<UnseededRngCheck>("dsn-unseeded-rng");
+    CheckFactories.registerCheck<LockScopePurityCheck>(
+        "dsn-lock-scope-purity");
+    CheckFactories.registerCheck<GuardedMemberCheck>("dsn-guarded-member");
+    CheckFactories.registerCheck<IndexNarrowingCheck>("dsn-index-narrowing");
+  }
+};
+
+}  // namespace dsn
+
+// Register the module with the shared clang-tidy registry; the volatile
+// anchor keeps the object file alive under aggressive dead-stripping.
+static ClangTidyModuleRegistry::Add<dsn::DsnTidyModule>
+    X("dsn-module", "dsn house checks: determinism, lock discipline, and "
+                    "64k+-scale index safety");
+
+volatile int DsnTidyModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,66 @@
+// Shared helpers for the dsn-tidy checks: deterministic-marker lookup and
+// path scoping. Kept header-only and free of check state so every check can
+// include it without ordering constraints.
+//
+// Compatibility note: this plugin builds against stock clang-tidy headers
+// (LLVM 14 through 18). Stick to the stable subset of the AST/Basic APIs —
+// no llvm::Optional, no APInt methods deprecated after 14.
+#pragma once
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/DenseMap.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+/// True when the file containing `FID` carries the project determinism
+/// marker (`// dsn-slint: deterministic`). The marker is shared with the
+/// token-level dsn-slint tier so a file opts into both tiers at once.
+/// Results are memoised per FileID in `Cache` — buffer scans are cheap but
+/// the same file is queried once per matched declaration.
+inline bool hasDeterministicMarker(const SourceManager &SM, FileID FID,
+                                   llvm::DenseMap<FileID, bool> &Cache) {
+  auto It = Cache.find(FID);
+  if (It != Cache.end())
+    return It->second;
+  bool Invalid = false;
+  llvm::StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  const bool Marked = !Invalid && Buffer.contains("dsn-slint: deterministic");
+  Cache[FID] = Marked;
+  return Marked;
+}
+
+/// True when `Loc` (after macro expansion) is usable for a project
+/// diagnostic: valid and not inside a system header.
+inline bool isProjectLocation(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return false;
+  return !SM.isInSystemHeader(SM.getExpansionLoc(Loc));
+}
+
+/// True when the expansion file of `Loc` lives under one of the
+/// comma-separated directory names in `ScopeDirs` (e.g. "graph,routing,sim"
+/// matches any path containing "/graph/"). An empty ScopeDirs matches
+/// everywhere.
+inline bool inScopedDir(const SourceManager &SM, SourceLocation Loc,
+                        llvm::StringRef ScopeDirs) {
+  if (ScopeDirs.empty())
+    return true;
+  const llvm::StringRef Path = SM.getFilename(SM.getExpansionLoc(Loc));
+  llvm::SmallVector<llvm::StringRef, 8> Dirs;
+  ScopeDirs.split(Dirs, ',', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Dir : Dirs) {
+    const std::string Needle = ("/" + Dir.trim() + "/").str();
+    if (Path.contains(Needle))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,132 @@
+#include "GuardedMemberCheck.h"
+
+#include "DsnTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+namespace {
+
+/// True when `Callee` is one of the dsn::ThreadPool task-submission entry
+/// points (member submit/submit_batch/parallel_for) or the free
+/// dsn::parallel_for convenience wrapper.
+bool isPoolSubmission(const FunctionDecl *Callee) {
+  if (Callee == nullptr)
+    return false;
+  const std::string Name = Callee->getQualifiedNameAsString();
+  return Name == "dsn::ThreadPool::submit" ||
+         Name == "dsn::ThreadPool::submit_batch" ||
+         Name == "dsn::ThreadPool::parallel_for" ||
+         Name == "dsn::parallel_for";
+}
+
+/// Walks the parent chain of `Node`: returns true when the mutation sits
+/// inside a lambda that is (transitively) an argument of a ThreadPool
+/// submission call. The lambda may be wrapped (std::function construction,
+/// vector push_back for submit_batch) — any enclosing submission call after
+/// an enclosing lambda counts.
+bool insidePoolTask(const Stmt *Node, ASTContext &Ctx) {
+  bool SeenLambda = false;
+  DynTypedNode Current = DynTypedNode::create(*Node);
+  for (int Hops = 0; Hops < 64; ++Hops) {
+    const auto Parents = Ctx.getParents(Current);
+    if (Parents.empty())
+      return false;
+    Current = Parents[0];
+    if (const auto *Lambda = Current.get<LambdaExpr>()) {
+      (void)Lambda;
+      SeenLambda = true;
+      continue;
+    }
+    if (!SeenLambda)
+      continue;
+    if (const auto *Call = Current.get<CallExpr>()) {
+      if (isPoolSubmission(Call->getDirectCallee()))
+        return true;
+    }
+  }
+  return false;
+}
+
+/// True for std::atomic<...> members — the sanctioned annotation-free way to
+/// share a scalar with pool tasks.
+bool isAtomicField(const FieldDecl *Field) {
+  const QualType Canonical = Field->getType().getCanonicalType();
+  if (Canonical->isAtomicType())
+    return true;
+  if (const CXXRecordDecl *RD = Canonical->getAsCXXRecordDecl())
+    return RD->getQualifiedNameAsString() == "std::atomic";
+  return false;
+}
+
+}  // namespace
+
+void GuardedMemberCheck::registerMatchers(MatchFinder *Finder) {
+  const auto MutatedMember =
+      memberExpr(member(fieldDecl().bind("field"))).bind("member");
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasLHS(ignoringParenImpCasts(MutatedMember)))
+          .bind("mutation"),
+      this);
+  Finder->addMatcher(
+      unaryOperator(hasAnyOperatorName("++", "--"),
+                    hasUnaryOperand(ignoringParenImpCasts(MutatedMember)))
+          .bind("mutation"),
+      this);
+}
+
+void GuardedMemberCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+  const auto *Mutation = Result.Nodes.getNodeAs<Stmt>("mutation");
+  if (Field == nullptr || Mutation == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!isProjectLocation(SM, Mutation->getBeginLoc()) ||
+      !isProjectLocation(SM, Field->getLocation()))
+    return;
+  if (isAtomicField(Field))
+    return;
+  // Already annotated: Thread Safety Analysis owns this field.
+  if (Field->hasAttr<GuardedByAttr>() || Field->hasAttr<PtGuardedByAttr>())
+    return;
+
+  const FieldDecl *Canonical =
+      cast<FieldDecl>(Field->getCanonicalDecl());
+  auto &Bucket = insidePoolTask(Mutation, *Result.Context)
+                     ? MutatedInPoolTask
+                     : MutatedOutside;
+  Bucket.insert({Canonical, Mutation->getBeginLoc()});
+}
+
+void GuardedMemberCheck::onEndOfTranslationUnit() {
+  for (const auto &Entry : MutatedInPoolTask) {
+    const FieldDecl *Field = Entry.first;
+    const auto Outside = MutatedOutside.find(Field);
+    if (Outside == MutatedOutside.end())
+      continue;
+    diag(Field->getLocation(),
+         "member %0 is mutated both inside a ThreadPool task and outside of "
+         "one but carries no DSN_GUARDED_BY annotation; annotate it, make it "
+         "std::atomic, or document the publication invariant with a NOLINT")
+        << Field;
+    diag(Entry.second, "mutated inside a pool task here",
+         DiagnosticIDs::Note);
+    diag(Outside->second, "mutated outside any pool task here",
+         DiagnosticIDs::Note);
+  }
+  MutatedInPoolTask.clear();
+  MutatedOutside.clear();
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,40 @@
+// dsn-guarded-member: a member that is mutated both inside a lambda handed
+// to the dsn::ThreadPool (submit / submit_batch / parallel_for, or the free
+// dsn::parallel_for) and outside of such lambdas is shared mutable state by
+// construction. It must either carry DSN_GUARDED_BY(<mutex>) so Clang
+// Thread Safety Analysis proves every access, be a std::atomic, or carry a
+// documented NOLINT suppression naming the publication invariant (DESIGN §8
+// documents when the lock-free-shard pattern is the right call).
+//
+// Mutation sites are collected across the whole translation unit and the
+// verdict is delivered per field at end of TU, so the diagnostic can point
+// at both conflicting writes.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseMap.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class GuardedMemberCheck : public ClangTidyCheck {
+ public:
+  GuardedMemberCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  llvm::DenseMap<const FieldDecl *, SourceLocation> MutatedInPoolTask;
+  llvm::DenseMap<const FieldDecl *, SourceLocation> MutatedOutside;
+};
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,72 @@
+#include "IndexNarrowingCheck.h"
+
+#include "DsnTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+void IndexNarrowingCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ScopeDirs", ScopeDirs);
+}
+
+void IndexNarrowingCheck::registerMatchers(MatchFinder *Finder) {
+  // Every implicit integral conversion; width filtering happens in check()
+  // where the ASTContext can answer real bit widths (NodeId and friends are
+  // typedefs — spelling-based matching would miss exactly the cases that
+  // matter). Template instantiations are traversed, so a narrowing that only
+  // materializes for a 64-bit instantiation argument is still seen.
+  Finder->addMatcher(
+      implicitCastExpr(hasCastKind(CK_IntegralCast)).bind("cast"), this);
+}
+
+void IndexNarrowingCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ImplicitCastExpr>("cast");
+  if (Cast == nullptr || Cast->isValueDependent())
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Cast->getExprLoc();
+  if (!isProjectLocation(SM, Loc) || !inScopedDir(SM, Loc, ScopeDirs))
+    return;
+
+  ASTContext &Ctx = *Result.Context;
+  const Expr *Sub = Cast->getSubExpr();
+  const QualType SrcType = Sub->getType();
+  const QualType DstType = Cast->getType();
+  if (!SrcType->isIntegerType() || !DstType->isIntegerType() ||
+      SrcType->isBooleanType() || DstType->isBooleanType() ||
+      SrcType->isEnumeralType())
+    return;
+
+  const unsigned SrcWidth = Ctx.getIntWidth(SrcType);
+  const unsigned DstWidth = Ctx.getIntWidth(DstType);
+  if (SrcWidth < 64 || DstWidth > 32)
+    return;
+
+  // A constant that provably fits the destination is not a narrowing hazard
+  // (enum-sized literals, small constexpr arithmetic).
+  Expr::EvalResult Eval;
+  if (Sub->EvaluateAsInt(Eval, Ctx)) {
+    const llvm::APSInt Value = Eval.Val.getInt();
+    const bool DstSigned = DstType->isSignedIntegerType();
+    const bool Fits = DstSigned ? Value.isSignedIntN(DstWidth)
+                                : Value.isIntN(DstWidth);
+    if (Fits)
+      return;
+  }
+
+  diag(Loc,
+       "implicit narrowing from %0 (%1-bit) to %2 (%3-bit) in scale-critical "
+       "code; at n=65k+ this truncates silently — widen the destination or "
+       "spell the bound with an explicit checked cast")
+      << SrcType << SrcWidth << DstType << DstWidth;
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

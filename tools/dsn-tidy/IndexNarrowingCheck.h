@@ -1,0 +1,42 @@
+// dsn-index-narrowing: flags implicit narrowing of 64-bit integer values
+// (node/link/offset arithmetic, container sizes, accumulated sums) into
+// 32-bit-or-smaller variables in the scale-critical directories (graph/,
+// routing/, sim/ by default). At n = 65k+ switches, link and channel counts
+// clear 2^32 products long before anything crashes — the truncation is
+// silent and corrupts indices far from the overflow site.
+//
+// The lexer tier cannot see this class at all: the narrowing usually
+// happens through `auto`, typedefs (NodeId = uint32_t), or template
+// instantiation where no cast is spelled in the source. Constant
+// expressions that provably fit the destination are exempt; an explicit
+// static_cast is the documented way to say "I bounded this".
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class IndexNarrowingCheck : public ClangTidyCheck {
+ public:
+  IndexNarrowingCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        ScopeDirs(Options.get("ScopeDirs", "graph,routing,sim")) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  /// Comma-separated directory names the check is scoped to; empty means
+  /// everywhere. Matched as "/<name>/" substrings of the expansion-file path.
+  const std::string ScopeDirs;
+};
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,207 @@
+#include "LockScopePurityCheck.h"
+
+#include "DsnTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+namespace {
+
+constexpr int kMaxCallDepth = 3;
+
+/// Functions whose very purpose is to block or touch the filesystem. The
+/// list is spelled with fully qualified names as produced by
+/// getQualifiedNameAsString (no leading ::).
+bool isBlockingFunctionName(llvm::StringRef Name) {
+  static const char *const kNames[] = {
+      "fopen",   "freopen", "fclose",  "fread",   "fwrite", "fprintf",
+      "vfprintf", "fscanf",  "fgets",   "fputs",   "fputc",  "fgetc",
+      "puts",    "printf",  "vprintf", "scanf",   "fflush", "remove",
+      "rename",  "system",  "popen",   "pclose",  "open",   "close",
+      "read",    "write",   "fsync",   "sleep",   "usleep", "nanosleep",
+      "std::getline", "std::this_thread::sleep_for",
+      "std::this_thread::sleep_until"};
+  for (const char *Candidate : kNames) {
+    if (Name == Candidate)
+      return true;
+  }
+  return false;
+}
+
+/// True when `RD` is, or transitively inherits from, a class whose
+/// qualified name starts with one of `Prefixes` (e.g. "std::basic_ostream").
+bool matchesOrInherits(const CXXRecordDecl *RD,
+                       llvm::ArrayRef<llvm::StringRef> Prefixes) {
+  if (RD == nullptr)
+    return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  for (llvm::StringRef Prefix : Prefixes) {
+    // std::string::rfind(p, 0) == 0 is the prefix test; StringRef spells it
+    // startswith in LLVM 14 and starts_with in 18, so neither is portable.
+    if (Name.rfind(Prefix.str(), 0) == 0)
+      return true;
+  }
+  if (!RD->hasDefinition())
+    return false;
+  for (const CXXBaseSpecifier &Base : RD->bases()) {
+    if (matchesOrInherits(Base.getType()->getAsCXXRecordDecl(), Prefixes))
+      return true;
+  }
+  return false;
+}
+
+const CXXRecordDecl *recordOfExpr(const Expr *E) {
+  if (E == nullptr)
+    return nullptr;
+  return E->getType().getNonReferenceType().getCanonicalType()
+      ->getAsCXXRecordDecl();
+}
+
+const llvm::StringRef kFileStreamPrefixes[] = {
+    "std::basic_ofstream", "std::basic_ifstream", "std::basic_fstream",
+    "std::basic_filebuf"};
+const llvm::StringRef kAnyStreamPrefixes[] = {
+    "std::basic_ostream", "std::basic_istream", "std::basic_iostream",
+    "std::basic_ofstream", "std::basic_ifstream", "std::basic_fstream"};
+
+}  // namespace
+
+void LockScopePurityCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      varDecl(hasType(hasCanonicalType(hasDeclaration(
+                  cxxRecordDecl(hasName("::dsn::LockGuard"))))),
+              hasAncestor(compoundStmt().bind("scope")))
+          .bind("guard"),
+      this);
+}
+
+std::string LockScopePurityCheck::classifyBlockingCall(const Expr *E) const {
+  if (const auto *Member = dyn_cast<CXXMemberCallExpr>(E)) {
+    const CXXRecordDecl *Class = Member->getRecordDecl();
+    if (Class == nullptr)
+      return "";
+    const std::string ClassName = Class->getQualifiedNameAsString();
+    const auto *Method = Member->getMethodDecl();
+    const std::string MethodName =
+        Method != nullptr ? Method->getNameAsString() : "";
+    if (matchesOrInherits(Class, kFileStreamPrefixes))
+      return "file-stream call '" + ClassName + "::" + MethodName + "'";
+    if (matchesOrInherits(Class, kAnyStreamPrefixes) &&
+        (MethodName == "flush" || MethodName == "write" ||
+         MethodName == "put" || MethodName == "read" || MethodName == "get" ||
+         MethodName == "getline" || MethodName == "sync" ||
+         MethodName == "open" || MethodName == "close"))
+      return "stream I/O call '" + ClassName + "::" + MethodName + "'";
+    if (ClassName == "dsn::Json" &&
+        (MethodName == "dump" || MethodName == "dump_to"))
+      return "serialization call 'dsn::Json::" + MethodName + "'";
+    return "";
+  }
+  if (const auto *Op = dyn_cast<CXXOperatorCallExpr>(E)) {
+    const OverloadedOperatorKind Kind = Op->getOperator();
+    if ((Kind == OO_LessLess || Kind == OO_GreaterGreater) &&
+        Op->getNumArgs() >= 1 &&
+        matchesOrInherits(recordOfExpr(Op->getArg(0)), kAnyStreamPrefixes))
+      return "stream serialization (operator<</>> on a std stream)";
+    return "";
+  }
+  if (const auto *Call = dyn_cast<CallExpr>(E)) {
+    if (const FunctionDecl *Callee = Call->getDirectCallee()) {
+      const std::string Name = Callee->getQualifiedNameAsString();
+      if (isBlockingFunctionName(Name))
+        return "blocking/IO call '" + Name + "'";
+    }
+    return "";
+  }
+  if (const auto *Construct = dyn_cast<CXXConstructExpr>(E)) {
+    if (matchesOrInherits(Construct->getConstructor()->getParent(),
+                          kFileStreamPrefixes))
+      return "file-stream construction (opens a file)";
+  }
+  return "";
+}
+
+void LockScopePurityCheck::scanForBlocking(
+    const Stmt *S, SourceLocation ReportLoc, const VarDecl *Guard, int Depth,
+    llvm::SmallPtrSet<const FunctionDecl *, 8> &Visited) {
+  if (S == nullptr)
+    return;
+  // A lambda defined under the lock executes later, outside the critical
+  // section; its body is some other scope's problem.
+  if (isa<LambdaExpr>(S))
+    return;
+
+  if (const auto *E = dyn_cast<Expr>(S)) {
+    const std::string What = classifyBlockingCall(E);
+    if (!What.empty()) {
+      if (Depth == 0) {
+        diag(E->getExprLoc(),
+             "%0 while dsn::LockGuard %1 is held; the critical section "
+             "inherits the I/O latency and stalls every contending thread — "
+             "move the work outside the lock")
+            << What << Guard;
+      } else {
+        diag(ReportLoc,
+             "call reaches %0 while dsn::LockGuard %1 is held (via a "
+             "function body visible in this translation unit); move the "
+             "blocking work outside the lock")
+            << What << Guard;
+      }
+      return;  // one diagnostic per offending call chain is enough
+    }
+    // Follow direct calls one level into bodies visible in this TU: the
+    // stop_trace bug hid its fflush behind a small helper.
+    if (const auto *Call = dyn_cast<CallExpr>(E)) {
+      const FunctionDecl *Callee = Call->getDirectCallee();
+      if (Callee != nullptr && Callee->hasBody() && Depth < kMaxCallDepth &&
+          Visited.insert(Callee->getCanonicalDecl()).second) {
+        scanForBlocking(Callee->getBody(),
+                        Depth == 0 ? Call->getExprLoc() : ReportLoc, Guard,
+                        Depth + 1, Visited);
+      }
+    }
+  }
+
+  for (const Stmt *Child : S->children())
+    scanForBlocking(Child, ReportLoc, Guard, Depth, Visited);
+}
+
+void LockScopePurityCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Guard = Result.Nodes.getNodeAs<VarDecl>("guard");
+  const auto *Scope = Result.Nodes.getNodeAs<CompoundStmt>("scope");
+  if (Guard == nullptr || Scope == nullptr)
+    return;
+  if (!isProjectLocation(*Result.SourceManager, Guard->getLocation()))
+    return;
+
+  // Everything that executes after the guard's declaration statement, inside
+  // the same compound scope, runs with the lock held.
+  bool AfterGuard = false;
+  for (const Stmt *Child : Scope->body()) {
+    if (!AfterGuard) {
+      if (const auto *DS = dyn_cast<DeclStmt>(Child)) {
+        for (const Decl *D : DS->decls()) {
+          if (D == Guard) {
+            AfterGuard = true;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    llvm::SmallPtrSet<const FunctionDecl *, 8> Visited;
+    scanForBlocking(Child, Child->getBeginLoc(), Guard, /*Depth=*/0, Visited);
+  }
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,48 @@
+// dsn-lock-scope-purity: no file I/O, stream serialization, or blocking
+// calls may be reachable while a dsn::LockGuard is held.
+//
+// This is the exact bug class PR 6 found by hand in TraceWriter::stop_trace
+// (flushing the trace file while still holding the writer mutex): the
+// critical section silently inherits the latency of the slowest I/O path,
+// and under the shared ThreadPool that stalls every worker contending for
+// the lock. The check walks the statements that execute after a LockGuard
+// declaration inside its scope, and follows calls one level into function
+// bodies visible in the translation unit (depth-limited), so a blocking
+// call hidden behind a small helper is still caught. Lambda bodies are
+// skipped — a lambda *defined* under the lock runs later, outside it.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallPtrSet.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class LockScopePurityCheck : public ClangTidyCheck {
+ public:
+  LockScopePurityCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  /// Scan `S` (and, for calls into function bodies visible in this TU, one
+  /// nested level up to `Depth` kMaxCallDepth) for blocking/IO calls.
+  /// Diagnoses at `ReportLoc` (the statement inside the locked scope).
+  void scanForBlocking(const Stmt *S, SourceLocation ReportLoc,
+                       const VarDecl *Guard, int Depth,
+                       llvm::SmallPtrSet<const FunctionDecl *, 8> &Visited);
+
+  /// Returns a human-readable description if `Call` is a blocking/IO/
+  /// serialization call, or an empty string otherwise.
+  std::string classifyBlockingCall(const Expr *Call) const;
+};
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

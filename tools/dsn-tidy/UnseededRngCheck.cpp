@@ -1,0 +1,158 @@
+#include "UnseededRngCheck.h"
+
+#include "DsnTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+namespace {
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     stdEngineType) {
+  return qualType(hasCanonicalType(hasDeclaration(cxxRecordDecl(hasAnyName(
+      "::std::linear_congruential_engine", "::std::mersenne_twister_engine",
+      "::std::subtract_with_carry_engine", "::std::discard_block_engine",
+      "::std::independent_bits_engine", "::std::shuffle_order_engine")))));
+}
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     randomDeviceType) {
+  return qualType(hasCanonicalType(
+      hasDeclaration(cxxRecordDecl(hasName("::std::random_device")))));
+}
+
+/// Recursively scan an initializer for calls that read wall-clock time or
+/// hardware entropy — the classic "seeded but still irreproducible" pattern
+/// (mt19937 g(time(nullptr)); mt19937 g(rd());).
+bool referencesAmbientEntropy(const Stmt *S) {
+  if (S == nullptr)
+    return false;
+  if (const auto *Call = dyn_cast<CallExpr>(S)) {
+    if (const FunctionDecl *Callee = Call->getDirectCallee()) {
+      const std::string Name = Callee->getQualifiedNameAsString();
+      if (Name == "time" || Name == "std::time" || Name == "clock" ||
+          Name == "std::clock" || Name == "gettimeofday" ||
+          Name == "std::chrono::system_clock::now" ||
+          Name == "std::chrono::steady_clock::now" ||
+          Name == "std::chrono::high_resolution_clock::now")
+        return true;
+      // random_device::operator() — entropy read.
+      if (const auto *Method = dyn_cast<CXXMethodDecl>(Callee)) {
+        const CXXRecordDecl *Class = Method->getParent();
+        if (Class != nullptr &&
+            Class->getQualifiedNameAsString() == "std::random_device")
+          return true;
+      }
+    }
+  }
+  for (const Stmt *Child : S->children()) {
+    if (referencesAmbientEntropy(Child))
+      return true;
+  }
+  return false;
+}
+
+/// True for a constructor call with no explicitly written arguments
+/// (defaulted arguments included) — i.e. a default-constructed engine.
+bool isDefaultConstruction(const Expr *Init) {
+  if (Init == nullptr)
+    return true;
+  const Expr *E = Init->IgnoreParenImpCasts();
+  if (const auto *Construct = dyn_cast<CXXConstructExpr>(E)) {
+    for (const Expr *Arg : Construct->arguments()) {
+      if (!isa<CXXDefaultArgExpr>(Arg))
+        return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void UnseededRngCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(varDecl(hasType(randomDeviceType())).bind("device"),
+                     this);
+  Finder->addMatcher(varDecl(hasType(stdEngineType())).bind("engine"), this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::drand48", "::lrand48", "::srand48",
+                   "::random", "::srandom"))))
+          .bind("libc"),
+      this);
+  // Re-seeding an engine from time or entropy after construction.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("seed"))),
+                        on(hasType(stdEngineType())))
+          .bind("reseed"),
+      this);
+}
+
+void UnseededRngCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Device = Result.Nodes.getNodeAs<VarDecl>("device")) {
+    if (!isProjectLocation(SM, Device->getLocation()))
+      return;
+    diag(Device->getLocation(),
+         "%0 reads hardware entropy (std::random_device); ambient seeds "
+         "unpin every downstream experiment — take an explicit 64-bit seed "
+         "and use dsn::Rng")
+        << Device;
+    return;
+  }
+
+  if (const auto *Engine = Result.Nodes.getNodeAs<VarDecl>("engine")) {
+    if (!isProjectLocation(SM, Engine->getLocation()))
+      return;
+    if (isDefaultConstruction(Engine->getInit())) {
+      diag(Engine->getLocation(),
+           "%0 is a default-constructed (unseeded) std RNG engine; its "
+           "sequence is implementation-pinned but invisible in the code — "
+           "use dsn::Rng with an explicit seed")
+          << Engine;
+    } else if (referencesAmbientEntropy(Engine->getInit())) {
+      diag(Engine->getLocation(),
+           "%0 is seeded from wall-clock time or hardware entropy; the run "
+           "cannot be replayed — use dsn::Rng with an explicit seed")
+          << Engine;
+    } else {
+      diag(Engine->getLocation(),
+           "%0 bypasses the seeded dsn::Rng entry points; all project "
+           "randomness flows through dsn::Rng / dsn::SplitMix64")
+          << Engine;
+    }
+    return;
+  }
+
+  if (const auto *Libc = Result.Nodes.getNodeAs<CallExpr>("libc")) {
+    if (!isProjectLocation(SM, Libc->getExprLoc()))
+      return;
+    diag(Libc->getExprLoc(),
+         "libc RNG call relies on hidden global state; use dsn::Rng with an "
+         "explicit seed");
+    return;
+  }
+
+  if (const auto *Reseed = Result.Nodes.getNodeAs<CXXMemberCallExpr>("reseed")) {
+    if (!isProjectLocation(SM, Reseed->getExprLoc()))
+      return;
+    if (Reseed->getNumArgs() == 0 ||
+        referencesAmbientEntropy(Reseed->getArg(0))) {
+      diag(Reseed->getExprLoc(),
+           "re-seeding a std engine from ambient state; the run cannot be "
+           "replayed — use dsn::Rng with an explicit seed");
+    }
+  }
+}
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,36 @@
+// dsn-unseeded-rng: every source of ambient (non-reproducible) randomness is
+// a defect anywhere in the tree. All stochastic behaviour must flow through
+// dsn::Rng / dsn::SplitMix64, which take explicit 64-bit seeds.
+//
+// Beyond the dsn-slint token tier this check understands:
+//   - std::random_device declarations through aliases and `auto`;
+//   - std engines named via their class templates (mersenne_twister_engine,
+//     linear_congruential_engine, subtract_with_carry_engine), so a
+//     `using Gen = std::mt19937; Gen g;` is caught even though the token
+//     "mt19937" never appears at the declaration;
+//   - default-constructed engines (unseeded) vs engines seeded from time()
+//     or chrono clocks, with tailored diagnostics;
+//   - libc rand()/srand()/drand48()/lrand48()/random()/srandom() calls.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dsn {
+
+class UnseededRngCheck : public ClangTidyCheck {
+ public:
+  UnseededRngCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace dsn
+}  // namespace tidy
+}  // namespace clang

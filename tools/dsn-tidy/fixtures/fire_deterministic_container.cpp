@@ -1,0 +1,29 @@
+// dsn-slint: deterministic — fixture stands in for a replay-critical file.
+//
+// FIRE fixture for dsn-deterministic-container: every declaration below has
+// an iteration-order-unstable *canonical* type, but none of them spells
+// std::unordered_* — an alias, an `auto`, and an alias-template
+// instantiation. The committed comparison test (ci/test_dsn_tidy_runner.py)
+// proves dsn-slint reports zero findings on this file while dsn-tidy must
+// report one per declaration.
+#include "support/stub_aliases.hpp"
+
+namespace dsn_fixture {
+
+struct ReplayState {
+  // Alias to std::unordered_map — lexer-invisible.
+  FlowIndex flows_;
+  // Alias template instantiation — the written type is `Lookup<long>`.
+  Lookup<long> routes_;
+};
+
+void snapshot() {
+  // `auto` deduced from a factory return type.
+  auto index = make_index();
+  (void)index;
+}
+
+// Function returning an unordered container through the alias.
+FlowIndex rebuild();
+
+}  // namespace dsn_fixture

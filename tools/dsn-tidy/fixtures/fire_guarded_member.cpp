@@ -1,0 +1,29 @@
+// FIRE fixture for dsn-guarded-member: members mutated both from lambdas
+// handed to the dsn::ThreadPool and from plain member functions, with no
+// DSN_GUARDED_BY annotation, no atomic type, and no documented suppression.
+// Both the member submit() path and the free dsn::parallel_for path fire.
+#include "support/stub_dsn.hpp"
+
+namespace dsn_fixture {
+
+class ShardMerger {
+ public:
+  void run(dsn::ThreadPool& pool) {
+    pool.submit([this] { merged_count_++; });
+  }
+
+  void run_batch() {
+    dsn::parallel_for(0, 8, [this](std::size_t i) { touched_ = i; });
+  }
+
+  void reset() {
+    merged_count_ = 0;
+    touched_ = 0;
+  }
+
+ private:
+  long long merged_count_ = 0;  // racy: pool lambda + reset()
+  std::size_t touched_ = 0;     // racy: parallel_for lambda + reset()
+};
+
+}  // namespace dsn_fixture

@@ -1,0 +1,48 @@
+// FIRE fixture for dsn-lock-scope-purity: file I/O, stream serialization,
+// blocking sleeps, and an I/O call hidden one level down the call graph, all
+// while a dsn::LockGuard is held. This is the TraceWriter::stop_trace bug
+// class PR 6 fixed by hand — now machine-checked.
+#include "support/stub_dsn.hpp"
+
+namespace dsn_fixture {
+
+struct TraceSink {
+  dsn::Mutex mutex_;
+  std::ofstream out_;
+  long long events_ = 0;
+};
+
+// The hidden-I/O helper: the blocking call is not lexically under any lock.
+void flush_everything(TraceSink& sink) { sink.out_.flush(); }
+
+void direct_io_under_lock(TraceSink& sink) {
+  dsn::LockGuard guard(sink.mutex_);
+  sink.events_ += 1;
+  // Direct libc file I/O inside the critical section.
+  fflush(nullptr);
+}
+
+void stream_write_under_lock(TraceSink& sink) {
+  dsn::LockGuard guard(sink.mutex_);
+  // Member I/O on a file stream.
+  sink.out_.write("x", 1);
+}
+
+void serialization_under_lock(TraceSink& sink, std::ostream& os) {
+  dsn::LockGuard guard(sink.mutex_);
+  // Stream serialization extends the critical section by the format cost.
+  os << sink.events_;
+}
+
+void sleep_under_lock(TraceSink& sink) {
+  dsn::LockGuard guard(sink.mutex_);
+  std::this_thread::sleep_for(std::chrono::nanoseconds{100});
+}
+
+void reachable_io_under_lock(TraceSink& sink) {
+  dsn::LockGuard guard(sink.mutex_);
+  // The stop_trace shape: innocuous-looking helper, fflush inside.
+  flush_everything(sink);
+}
+
+}  // namespace dsn_fixture

@@ -1,0 +1,37 @@
+// FIRE fixture for dsn-unseeded-rng: ambient randomness in every disguise —
+// aliased engines (no std:: token anywhere near the declaration), aliased
+// random_device, default construction, time seeding, entropy re-seeding,
+// and the libc calls.
+//
+// dsn-slint-ignore-file(seeded-rng-only): dsn-tidy fixture — this file exists to exercise the semantic RNG check, including forms the token tier also sees
+#include "support/stub_aliases.hpp"
+
+namespace dsn_fixture {
+
+void all_the_wrong_ways() {
+  // Default-constructed engine through an alias: lexer-invisible.
+  Gen unseeded;
+  (void)unseeded;
+
+  // Hardware entropy through an alias: lexer-invisible.
+  Entropy entropy;
+
+  // Seeded, but from the wall clock — still irreproducible.
+  Gen clock_seeded(static_cast<unsigned>(time(nullptr)));
+  (void)clock_seeded;
+
+  // Seeded from the entropy device.
+  Gen device_seeded(entropy());
+  (void)device_seeded;
+
+  // Re-seeded from ambient state after construction.
+  Gen reseeded(7u);
+  reseeded.seed(static_cast<unsigned>(time(nullptr)));
+
+  // Hidden-global-state libc RNG.
+  srand(static_cast<unsigned>(time(nullptr)));
+  int noise = rand();
+  (void)noise;
+}
+
+}  // namespace dsn_fixture

@@ -1,0 +1,27 @@
+// dsn-slint: deterministic — fixture stands in for a replay-critical file.
+//
+// OK fixture for dsn-deterministic-container: ordered containers (also via
+// aliases and `auto`) are fine in a deterministic-marked file, and a NOLINT
+// with a written reason is the sanctioned escape hatch. Must produce zero
+// findings.
+#include "support/stub_aliases.hpp"
+
+namespace dsn_fixture {
+
+struct ReplayState {
+  OrderedIndex flows_;
+  OrderedLookup<long> routes_;
+  std::vector<int> order_;
+  // Scratch only — rebuilt and emitted through a sorted copy before dumping.
+  // NOLINTNEXTLINE(dsn-deterministic-container)
+  FlowIndex scratch_;
+};
+
+void snapshot() {
+  auto index = make_ordered_index();
+  (void)index;
+}
+
+OrderedIndex rebuild();
+
+}  // namespace dsn_fixture

@@ -1,0 +1,39 @@
+// OK fixture for dsn-guarded-member: every sanctioned way to share state
+// with pool tasks — DSN_GUARDED_BY annotation, std::atomic, mutation on one
+// side only, and the documented-suppression escape hatch. Must produce zero
+// findings.
+#include "support/stub_dsn.hpp"
+
+namespace dsn_fixture {
+
+class ShardMerger {
+ public:
+  void run(dsn::ThreadPool& pool) {
+    pool.submit([this] {
+      guarded_count_++;
+      atomic_count_ = 1;
+      task_only_ += 1;
+      publish_slot_ = 1;
+    });
+  }
+
+  void reset() {
+    guarded_count_ = 0;
+    atomic_count_ = 0;
+    host_only_ = 0;
+    publish_slot_ = 0;
+  }
+
+ private:
+  dsn::Mutex mutex_;
+  long long guarded_count_ DSN_GUARDED_BY(mutex_) = 0;
+  std::atomic<long long> atomic_count_;
+  long long task_only_ = 0;   // mutated only inside pool tasks
+  long long host_only_ = 0;   // mutated only outside pool tasks
+  // Lock-free shard publication per DESIGN §8: readers are ordered by the
+  // release store on atomic_count_, the published prefix is immutable.
+  // NOLINTNEXTLINE(dsn-guarded-member)
+  long long publish_slot_ = 0;
+};
+
+}  // namespace dsn_fixture

@@ -1,0 +1,45 @@
+// OK fixture for dsn-lock-scope-purity: pure state mutation under the lock;
+// I/O before the guard is taken, after the scope closes, or inside a lambda
+// that merely gets *defined* under the lock (it runs later, outside); and
+// the NOLINT escape hatch. Must produce zero findings.
+#include "support/stub_dsn.hpp"
+
+namespace dsn_fixture {
+
+struct Registry {
+  dsn::Mutex mutex_;
+  std::ofstream out_;
+  long long generation_ = 0;
+  std::vector<long long> pending_;
+};
+
+void pure_critical_section(Registry& reg) {
+  reg.out_.flush();  // I/O while the lock is NOT held: fine.
+  dsn::LockGuard guard(reg.mutex_);
+  reg.generation_ += 1;
+  reg.pending_.push_back(reg.generation_);
+}
+
+void io_after_scope(Registry& reg) {
+  {
+    dsn::LockGuard guard(reg.mutex_);
+    reg.generation_ += 1;
+  }
+  // The guard died with its scope; this write is outside the section.
+  reg.out_.write("x", 1);
+}
+
+void lambda_defined_under_lock(Registry& reg, dsn::ThreadPool& pool) {
+  dsn::LockGuard guard(reg.mutex_);
+  reg.generation_ += 1;
+  // The lambda body executes on a worker later, not inside this section.
+  pool.submit([&reg] { reg.out_.flush(); });
+}
+
+void documented_exception(Registry& reg) {
+  dsn::LockGuard guard(reg.mutex_);
+  // Shutdown path: single-threaded by contract, flush must see final state.
+  fflush(nullptr);  // NOLINT(dsn-lock-scope-purity)
+}
+
+}  // namespace dsn_fixture

@@ -1,0 +1,40 @@
+// FIRE fixture for dsn-index-narrowing. This file lives under a sim/
+// directory on purpose: the check is scoped to the scale-critical dirs
+// (graph/, routing/, sim/) by its ScopeDirs option. Every narrowing below is
+// implicit and spells no cast — through typedefs, `auto` arithmetic, a
+// container size, and a template instantiation the lexer never sees.
+#include "support/stub_std.hpp"
+
+namespace dsn_fixture {
+
+using NodeId = std::uint32_t;  // the real tree's index typedef shape
+
+NodeId flat_channel_index(std::uint64_t node, std::uint64_t port,
+                          std::uint64_t ports_per_node) {
+  // node * ports_per_node + port exceeds 2^32 at n = 65k+ with wide ports.
+  NodeId channel = node * ports_per_node + port;
+  return channel;
+}
+
+void offsets_and_sizes(const std::vector<long long>& offsets) {
+  // size_t (64-bit) into a 32-bit counter.
+  unsigned count = offsets.size();
+  (void)count;
+
+  // 64-bit accumulator truncated on assignment.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < offsets.size(); ++i) total += offsets[i];
+  std::uint32_t stored = total;
+  (void)stored;
+}
+
+// Narrowing that only materializes at instantiation: T = unsigned.
+template <typename T>
+T as_index(std::uint64_t value) {
+  T result = value;
+  return result;
+}
+
+unsigned instantiated() { return as_index<unsigned>(1ull << 40); }
+
+}  // namespace dsn_fixture

@@ -1,0 +1,33 @@
+// OK fixture for dsn-index-narrowing: explicit casts spell the bound,
+// constants that provably fit are exempt, widening is always fine, and the
+// NOLINT escape hatch works. Must produce zero findings.
+#include "support/stub_std.hpp"
+
+namespace dsn_fixture {
+
+using NodeId = std::uint32_t;
+
+NodeId explicit_bound(std::uint64_t node, std::uint64_t ports_per_node,
+                      std::uint64_t port) {
+  // The cast is the documented "I bounded this" annotation.
+  return static_cast<NodeId>(node * ports_per_node + port);
+}
+
+void constants_and_widening() {
+  // Constant expression that provably fits 32 bits.
+  std::uint32_t window = 1ull << 20;
+  (void)window;
+
+  // Widening is never a hazard.
+  std::uint32_t narrow = 7u;
+  std::uint64_t wide = narrow;
+  (void)wide;
+}
+
+std::uint32_t documented_exception(std::uint64_t epoch) {
+  // Epoch wraps by design; low 32 bits are the replay key.
+  std::uint32_t key = epoch;  // NOLINT(dsn-index-narrowing)
+  return key;
+}
+
+}  // namespace dsn_fixture

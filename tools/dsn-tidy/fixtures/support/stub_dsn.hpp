@@ -1,0 +1,66 @@
+// Minimal dsn:: surface for the dsn-tidy fixtures: the annotated lock
+// wrappers, the ThreadPool submission API, and the DSN_GUARDED_BY macro,
+// with the same qualified names the checks match on. Function bodies are
+// empty — the checks reason about names, types and call structure only.
+#pragma once
+
+#include "stub_std.hpp"
+
+#if defined(__clang__)
+#define DSN_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#else
+#define DSN_GUARDED_BY(x)
+#endif
+
+namespace dsn {
+
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex&) {}
+  ~LockGuard() {}
+};
+
+template <typename F>
+class function {
+ public:
+  function(F) {}  // NOLINT(google-explicit-constructor)
+};
+
+class ThreadPool {
+ public:
+  template <typename F>
+  void submit(F task) {
+    (void)task;
+  }
+  template <typename F>
+  void submit_batch(std::vector<F> tasks) {
+    (void)tasks;
+  }
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, const F& fn) {
+    (void)begin;
+    (void)end;
+    (void)fn;
+  }
+  static ThreadPool& global();
+};
+
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, const F& fn) {
+  (void)begin;
+  (void)end;
+  (void)fn;
+}
+
+class Json {
+ public:
+  std::string dump(int indent = -1) const { return std::string(); }
+};
+
+}  // namespace dsn

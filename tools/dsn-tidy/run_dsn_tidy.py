@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Driver for the dsn-tidy clang-tidy plugin (tools/dsn-tidy).
+
+Two subcommands:
+
+  fixtures  Negative-control gate. Every dsn-* check must FIRE on its
+            fire_<slug>[.cpp] fixture and stay silent on ok_<slug>.cpp.
+            A check that silently stops matching — a matcher regression, a
+            renamed registry entry, a plugin that fails to load — fails this
+            gate, the same philosophy as dsn-slint's unsuppressible
+            suppression-syntax findings.
+
+  scan      Run the plugin over translation units (directly or through a
+            compile database), print every finding, optionally write a SARIF
+            2.1.0 report, and exit 1 when any unsuppressed finding remains.
+            NOLINT-suppressed findings never reach clang-tidy's output, so
+            "zero findings" here means "zero *unsuppressed* findings".
+
+The clang-tidy binary and plugin path always come from flags, never PATH
+guessing — CI pins the LLVM major version and passes both explicitly. All
+parsing/reporting logic is pure so ci/test_dsn_tidy_runner.py can exercise
+the gate semantics locally with a fake clang-tidy, no clang required.
+"""
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# clang-tidy diagnostic line: /path/file.cpp:12:5: warning: message [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<level>warning|error):\s+(?P<message>.*?)\s+\[(?P<checks>[^\]\s]+)\]$")
+# Hard errors (parse failures, bad flags) have no [check] suffix.
+BARE_ERROR_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+error:\s+(?P<message>.*)$")
+
+CHECK_PREFIX = "dsn-"
+
+
+class Finding:
+    def __init__(self, file, line, col, level, message, check):
+        self.file = file
+        self.line = int(line)
+        self.col = int(col)
+        self.level = level
+        self.message = message
+        self.check = check
+
+    def key(self):
+        return (self.file, self.line, self.col, self.check, self.message)
+
+    def render(self):
+        return (f"{self.file}:{self.line}:{self.col}: [{self.check}] "
+                f"{self.message}")
+
+
+def parse_diagnostics(text):
+    """Extract deduplicated findings from clang-tidy stdout/stderr.
+
+    Header diagnostics repeat once per including TU; report each once. Bare
+    errors (no [check] tag — e.g. a fixture that fails to parse) are
+    reported under the pseudo-check `clang-diagnostic-error` so they can
+    never be mistaken for a clean run.
+    """
+    findings, seen = [], set()
+    for line in text.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m is not None:
+            for check in m.group("checks").split(","):
+                f = Finding(m.group("file"), m.group("line"), m.group("col"),
+                            m.group("level"), m.group("message"), check)
+                if f.key() not in seen:
+                    seen.add(f.key())
+                    findings.append(f)
+            continue
+        m = BARE_ERROR_RE.match(line.strip())
+        if m is not None:
+            f = Finding(m.group("file"), m.group("line"), m.group("col"),
+                        "error", m.group("message"), "clang-diagnostic-error")
+            if f.key() not in seen:
+                seen.add(f.key())
+                findings.append(f)
+    return findings
+
+
+def to_sarif(findings, tool_name="dsn-tidy"):
+    """Minimal SARIF 2.1.0 document for CI artifact upload / code scanning."""
+    rules = sorted({f.check for f in findings})
+    return {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "DESIGN.md#8-static-analysis--concurrency-discipline",
+                "rules": [{"id": rule} for rule in rules],
+            }},
+            "results": [{
+                "ruleId": f.check,
+                "level": "error" if f.level == "error" else "warning",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": f.file},
+                    "region": {"startLine": f.line, "startColumn": f.col},
+                }}],
+            } for f in findings],
+        }],
+    }
+
+
+def check_name_for_fixture(path):
+    """fire_lock_scope_purity.cpp -> dsn-lock-scope-purity."""
+    slug = re.sub(r"^(fire|ok)_", "", path.stem)
+    return CHECK_PREFIX + slug.replace("_", "-")
+
+
+def fixture_pairs(fixture_dir):
+    """Yield (check, fire_path, ok_path) for every fire_* fixture, sorted.
+
+    A fire fixture without its ok twin (or vice versa) is a hard error:
+    every check must be demonstrated both firing and silenced.
+    """
+    fixture_dir = Path(fixture_dir)
+    fires = {check_name_for_fixture(p): p
+             for p in sorted(fixture_dir.rglob("fire_*.cpp"))}
+    oks = {check_name_for_fixture(p): p
+           for p in sorted(fixture_dir.rglob("ok_*.cpp"))}
+    if set(fires) != set(oks):
+        raise SystemExit(
+            f"dsn-tidy fixtures: unpaired fixtures — fire for {sorted(fires)}"
+            f" vs ok for {sorted(oks)}")
+    return [(check, fires[check], oks[check]) for check in sorted(fires)]
+
+
+def run_clang_tidy(clang_tidy, plugin, checks, files, extra_args=(),
+                   compile_flags=()):
+    cmd = [str(clang_tidy), f"--load={plugin}", f"--checks=-*,{checks}",
+           "--quiet", *extra_args, *[str(f) for f in files]]
+    if compile_flags:
+        cmd += ["--", *compile_flags]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc, parse_diagnostics(proc.stdout + "\n" + proc.stderr)
+
+
+def cmd_fixtures(args):
+    fixture_dir = Path(args.fixture_dir)
+    compile_flags = ["-std=c++17", f"-I{fixture_dir}"]
+    failures = []
+    for check, fire, ok in fixture_pairs(fixture_dir):
+        for path, expectation in ((fire, "fire"), (ok, "ok")):
+            proc, findings = run_clang_tidy(
+                args.clang_tidy, args.plugin, check, [path],
+                compile_flags=compile_flags)
+            errors = [f for f in findings
+                      if f.check == "clang-diagnostic-error"]
+            hits = [f for f in findings if f.check == check]
+            if errors:
+                failures.append(f"{path.name}: fixture does not parse:\n  "
+                                + "\n  ".join(e.render() for e in errors))
+            elif expectation == "fire" and not hits:
+                failures.append(
+                    f"{path.name}: {check} produced NO findings on its fire "
+                    f"fixture — the check has gone dead (clang-tidy exit "
+                    f"{proc.returncode})")
+            elif expectation == "ok" and hits:
+                failures.append(
+                    f"{path.name}: {check} fired on its ok fixture:\n  "
+                    + "\n  ".join(h.render() for h in hits))
+            else:
+                label = ("fires" if expectation == "fire" else "clean")
+                print(f"dsn-tidy fixtures: {check} {label} "
+                      f"({path.name}: {len(hits)} finding(s))")
+    if failures:
+        print("dsn-tidy fixtures: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("dsn-tidy fixtures: PASS")
+    return 0
+
+
+def collect_sources(paths):
+    sources = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            sources.extend(sorted(path.rglob("*.cpp")))
+        elif path.is_file():
+            sources.append(path)
+        else:
+            raise SystemExit(f"dsn-tidy scan: no such path: {path}")
+    return sources
+
+
+def cmd_scan(args):
+    sources = collect_sources(args.paths)
+    if not sources:
+        raise SystemExit("dsn-tidy scan: no .cpp sources found")
+    extra = [f"-p={args.compdb}"] if args.compdb else []
+    proc, findings = run_clang_tidy(
+        args.clang_tidy, args.plugin, args.checks, sources, extra_args=extra)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(findings), indent=2) + "\n")
+    for f in findings:
+        print(f.render(), file=sys.stderr)
+    verdict = "FAIL" if findings else "PASS"
+    print(f"dsn-tidy scan: {verdict} ({len(sources)} file(s), "
+          f"{len(findings)} unsuppressed finding(s))")
+    if findings:
+        return 1
+    if proc.returncode != 0:
+        # No findings but a nonzero exit means the scan itself broke (bad
+        # plugin path, compdb missing) — never report that as clean.
+        print(f"dsn-tidy scan: clang-tidy exited {proc.returncode}:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--clang-tidy", required=True,
+                        help="clang-tidy binary (CI pins the LLVM major)")
+    common.add_argument("--plugin", required=True,
+                        help="path to the built libdsn_tidy plugin")
+
+    fixtures = sub.add_parser("fixtures", parents=[common],
+                              help="fire/ok negative-control gate")
+    fixtures.add_argument("--fixture-dir",
+                          default=str(Path(__file__).parent / "fixtures"))
+    fixtures.set_defaults(func=cmd_fixtures)
+
+    scan = sub.add_parser("scan", parents=[common],
+                          help="tree scan + SARIF report")
+    scan.add_argument("--compdb", help="build dir with compile_commands.json")
+    scan.add_argument("--sarif", help="write a SARIF 2.1.0 report here")
+    scan.add_argument("--checks", default="dsn-*",
+                      help="clang-tidy -checks payload (default: dsn-*)")
+    scan.add_argument("paths", nargs="+",
+                      help="files or directories to scan")
+    scan.set_defaults(func=cmd_scan)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
