@@ -1,0 +1,169 @@
+// dsn-slint: deterministic — FIFO order here is observable in byte-identical
+// sim replay; iteration and compaction must be stable front-to-back.
+//
+// Flat ring-buffer FIFO replacing std::deque in simulator hot state. An empty
+// libstdc++ deque eagerly allocates a ~500-byte map+node, which at 65k
+// switches × ports × VCs costs gigabytes before the first flit moves. An
+// empty RingQueue is 32 bytes inline and allocates nothing until first push;
+// capacity grows by doubling (power of two, index masked).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "dsn/common/error.hpp"
+
+namespace dsn {
+
+/// Bounded-growth FIFO with stable front-to-back iteration, O(1) push_back /
+/// pop_front, and stable erase_if/erase_at (same element order std::erase_if
+/// on a deque preserves). Not thread-safe; T must be movable.
+template <class T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  RingQueue(RingQueue&&) noexcept = default;
+  RingQueue& operator=(RingQueue&&) noexcept = default;
+  RingQueue(const RingQueue& other) { *this = other; }
+  RingQueue& operator=(const RingQueue& other) {
+    if (this == &other) return *this;
+    data_.reset();
+    cap_ = 0;
+    head_ = 0;
+    size_ = 0;
+    reserve_pow2(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) data_[i] = other[i];
+    size_ = other.size_;
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  T& front() {
+    DSN_ASSERT(size_ > 0, "front() on empty RingQueue");
+    return data_[head_];
+  }
+  const T& front() const {
+    DSN_ASSERT(size_ > 0, "front() on empty RingQueue");
+    return data_[head_];
+  }
+  T& back() {
+    DSN_ASSERT(size_ > 0, "back() on empty RingQueue");
+    return data_[(head_ + size_ - 1) & (cap_ - 1)];
+  }
+  const T& back() const {
+    DSN_ASSERT(size_ > 0, "back() on empty RingQueue");
+    return data_[(head_ + size_ - 1) & (cap_ - 1)];
+  }
+
+  T& operator[](std::size_t i) { return data_[(head_ + i) & (cap_ - 1)]; }
+  const T& operator[](std::size_t i) const {
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(T value) {
+    if (size_ == cap_) reserve_pow2(size_ + 1);
+    data_[(head_ + size_) & (cap_ - 1)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    DSN_ASSERT(size_ > 0, "pop_front() on empty RingQueue");
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Remove the element at logical index i, preserving the order of the
+  /// rest (shifts the tail side down — O(size - i)).
+  void erase_at(std::size_t i) {
+    DSN_ASSERT(i < size_, "erase_at() index out of range");
+    for (std::size_t k = i; k + 1 < size_; ++k) {
+      (*this)[k] = std::move((*this)[k + 1]);
+    }
+    --size_;
+  }
+
+  /// Stable front-to-back compaction: removes every element the predicate
+  /// accepts (predicate side effects observe elements in FIFO order, exactly
+  /// like std::erase_if over a deque). Returns the number removed.
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < size_; ++read) {
+      T& elem = (*this)[read];
+      if (pred(static_cast<const T&>(elem))) continue;
+      if (write != read) (*this)[write] = std::move(elem);
+      ++write;
+    }
+    const std::size_t removed = size_ - write;
+    size_ = write;
+    return removed;
+  }
+
+  /// Minimal forward iterator (front-to-back) so range-for call sites keep
+  /// reading like the deque-based originals.
+  template <class Q, class V>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = V;
+    using difference_type = std::ptrdiff_t;
+    using pointer = V*;
+    using reference = V&;
+
+    Iter(Q* q, std::size_t i) : q_(q), i_(i) {}
+    reference operator*() const { return (*q_)[i_]; }
+    pointer operator->() const { return &(*q_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+
+   private:
+    Q* q_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<RingQueue, T>;
+  using const_iterator = Iter<const RingQueue, const T>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, size_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  void reserve_pow2(std::size_t min_cap) {
+    std::size_t cap = cap_ == 0 ? 8 : cap_;
+    while (cap < min_cap) cap *= 2;
+    if (cap == cap_) return;
+    std::unique_ptr<T[]> grown(new T[cap]);
+    for (std::size_t i = 0; i < size_; ++i) grown[i] = std::move((*this)[i]);
+    data_ = std::move(grown);
+    cap_ = cap;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dsn

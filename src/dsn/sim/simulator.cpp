@@ -7,31 +7,13 @@
 #include <string>
 
 #include "dsn/obs/obs.hpp"
+#include "dsn/sim/sim_metrics.hpp"
+#include "dsn/sim/switch_kernel.hpp"
 
 namespace dsn {
 
 #if DSN_OBS
-namespace {
-
-struct SimMetrics {
-  obs::MetricId hops = obs::MetricsRegistry::global().counter("dsn.sim.hops");
-  obs::MetricId credit_stalls =
-      obs::MetricsRegistry::global().counter("dsn.sim.credit_stalls");
-  obs::MetricId fault_events =
-      obs::MetricsRegistry::global().counter("dsn.sim.fault_events");
-  obs::MetricId in_flight =
-      obs::MetricsRegistry::global().gauge("dsn.sim.in_flight_packets");
-  obs::MetricId latency_cycles = obs::MetricsRegistry::global().histogram(
-      "dsn.sim.packet_latency_cycles",
-      {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384});
-
-  static const SimMetrics& get() {
-    static SimMetrics metrics;
-    return metrics;
-  }
-};
-
-}  // namespace
+using sim_detail::SimMetrics;
 #endif  // DSN_OBS
 
 Simulator::Simulator(const Topology& topo, SimRoutingPolicy& policy,
@@ -116,6 +98,12 @@ Simulator::Simulator(const Topology& topo, SimRoutingPolicy& policy,
     nics_[h].credits.assign(config_.vcs, config_.buffer_flits);
     nics_[h].rng = Rng(config_.seed * 0x9e3779b97f4a7c15ULL + h + 1);
   }
+
+  for (const SwitchState& sw : switches_) {
+    max_ports_ = std::max(max_ports_, sw.num_ports);
+  }
+  sa_scratch_.input_used.assign(max_ports_, 0);
+  sa_scratch_.used_inputs.reserve(max_ports_);
 }
 
 PacketSlot Simulator::alloc_packet() {
@@ -157,34 +145,35 @@ EpochStats& Simulator::epoch_at(std::uint64_t now) {
   return epochs_[idx];
 }
 
+void Simulator::enqueue_packet(HostId src, HostId dst, std::uint64_t now) {
+  const std::uint64_t window_end = config_.warmup_cycles + config_.measure_cycles;
+  const PacketSlot slot = alloc_packet();
+  Packet& pkt = packets_[slot];
+  pkt = Packet{};
+  pkt.id = next_packet_id_++;
+  pkt.src_host = src;
+  pkt.dst_host = dst;
+  pkt.src_switch = src / config_.hosts_per_switch;
+  pkt.dst_switch = pkt.dst_host / config_.hosts_per_switch;
+  pkt.size_flits = config_.packet_flits;
+  pkt.gen_cycle = now;
+  pkt.measured = now >= config_.warmup_cycles && now < window_end;
+  pkt.route_state = policy_->initial_state();
+  if (pkt.measured) ++measured_generated_;
+  ++generated_total_;
+  if (config_.epoch_cycles != 0) ++epoch_at(now).injected;
+  nics_[src].source_queue.push_back(slot);
+  ++in_flight_packets_;
+}
+
 void Simulator::generate_traffic(std::uint64_t now) {
   const std::uint64_t window_end = config_.warmup_cycles + config_.measure_cycles;
-
-  const auto enqueue = [&](HostId src, HostId dst) {
-    const PacketSlot slot = alloc_packet();
-    Packet& pkt = packets_[slot];
-    pkt = Packet{};
-    pkt.id = next_packet_id_++;
-    pkt.src_host = src;
-    pkt.dst_host = dst;
-    pkt.src_switch = src / config_.hosts_per_switch;
-    pkt.dst_switch = pkt.dst_host / config_.hosts_per_switch;
-    pkt.size_flits = config_.packet_flits;
-    pkt.gen_cycle = now;
-    pkt.measured = now >= config_.warmup_cycles && now < window_end;
-    pkt.route_state = policy_->initial_state();
-    if (pkt.measured) ++measured_generated_;
-    ++generated_total_;
-    if (config_.epoch_cycles != 0) ++epoch_at(now).injected;
-    nics_[src].source_queue.push_back(slot);
-    ++in_flight_packets_;
-  };
 
   if (use_trace_) {
     while (trace_cursor_ < injection_trace_.size() &&
            injection_trace_[trace_cursor_].cycle <= now) {
       const TraceEntry& e = injection_trace_[trace_cursor_++];
-      enqueue(e.src, e.dst);
+      enqueue_packet(e.src, e.dst, now);
     }
     return;
   }
@@ -200,76 +189,88 @@ void Simulator::generate_traffic(std::uint64_t now) {
     // resumes deterministically on revival).
     if (faults_armed_ && !switch_alive_[h / config_.hosts_per_switch]) continue;
     if (!nic.rng.bernoulli(rate)) continue;
-    enqueue(h, traffic_->dest(h, nic.rng));
+    enqueue_packet(h, traffic_->dest(h, nic.rng), now);
   }
 }
 
-void Simulator::nic_stream(std::uint64_t now) {
-  for (HostId h = 0; h < num_hosts_; ++h) {
-    NicState& nic = nics_[h];
-    // A halted switch freezes its hosts' NICs (queues keep their packets for
-    // the revival; any active stream was purged by the halt itself).
-    if (faults_armed_ && !switch_alive_[h / config_.hosts_per_switch]) continue;
-    const std::uint32_t start_credits =
-        config_.switching == SwitchingMode::kVirtualCutThrough ? config_.packet_flits
-                                                               : 1;
-    if (!nic.busy) {
-      if (nic.source_queue.empty() && nic.retry_queue.empty()) continue;
-      // Virtual cut-through from the NIC too: pick a VC whose injection
-      // buffer can hold the whole packet (one flit under wormhole).
-      std::uint32_t chosen = config_.vcs;
-      for (std::uint32_t k = 0; k < config_.vcs; ++k) {
-        const std::uint32_t vc = (static_cast<std::uint32_t>(now) + k) % config_.vcs;
-        if (nic.credits[vc] >= start_credits) {
-          chosen = vc;
-          break;
-        }
+bool Simulator::nic_step(HostId h, std::uint64_t now, std::uint64_t* wake_at) {
+  NicState& nic = nics_[h];
+  // A halted switch freezes its hosts' NICs (queues keep their packets for
+  // the revival; any active stream was purged by the halt itself).
+  if (faults_armed_ && !switch_alive_[h / config_.hosts_per_switch]) return true;
+  const std::uint32_t start_credits =
+      config_.switching == SwitchingMode::kVirtualCutThrough ? config_.packet_flits
+                                                             : 1;
+  if (!nic.busy) {
+    if (nic.source_queue.empty() && nic.retry_queue.empty()) return false;
+    // Virtual cut-through from the NIC too: pick a VC whose injection
+    // buffer can hold the whole packet (one flit under wormhole).
+    std::uint32_t chosen = config_.vcs;
+    for (std::uint32_t k = 0; k < config_.vcs; ++k) {
+      const std::uint32_t vc = (static_cast<std::uint32_t>(now) + k) % config_.vcs;
+      if (nic.credits[vc] >= start_credits) {
+        chosen = vc;
+        break;
       }
-      if (chosen == config_.vcs) continue;
-      // Retries whose backoff expired go first (queue order); otherwise a
-      // fresh packet — a still-backing-off retry never blocks new traffic.
-      PacketSlot slot = kInvalidPacketSlot;
-      for (std::size_t i = 0; i < nic.retry_queue.size(); ++i) {
-        if (packets_[nic.retry_queue[i]].retry_at <= now) {
-          slot = nic.retry_queue[i];
-          nic.retry_queue.erase(nic.retry_queue.begin() +
-                                static_cast<std::ptrdiff_t>(i));
-          break;
-        }
-      }
-      if (slot == kInvalidPacketSlot) {
-        if (nic.source_queue.empty()) continue;
-        slot = nic.source_queue.front();
-        nic.source_queue.pop_front();
-      }
-      nic.busy = true;
-      nic.streaming = slot;
-      nic.flits_sent = 0;
-      nic.stream_vc = chosen;
-      packets_[nic.streaming].inject_cycle = now;
     }
-    // Send one flit per cycle toward the injection input port; under
-    // wormhole the NIC stalls when the injection buffer has no credit.
-    if (config_.switching == SwitchingMode::kWormhole &&
-        nic.credits[nic.stream_vc] == 0) {
-      DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
-      continue;
+    if (chosen == config_.vcs) return true;
+    // Retries whose backoff expired go first (queue order); otherwise a
+    // fresh packet — a still-backing-off retry never blocks new traffic.
+    PacketSlot slot = kInvalidPacketSlot;
+    for (std::size_t i = 0; i < nic.retry_queue.size(); ++i) {
+      if (packets_[nic.retry_queue[i]].retry_at <= now) {
+        slot = nic.retry_queue[i];
+        nic.retry_queue.erase_at(i);
+        break;
+      }
     }
-    Packet& pkt = packets_[nic.streaming];
-    NodeId sw_id = pkt.src_switch;
-    SwitchState& sw = switches_[sw_id];
-    const std::uint32_t in_port =
-        sw.num_net_ports + (h % config_.hosts_per_switch);
-    Flit flit;
-    flit.packet = nic.streaming;
-    flit.seq = nic.flits_sent;
-    flit.head = nic.flits_sent == 0;
-    flit.tail = nic.flits_sent + 1 == pkt.size_flits;
-    sw.wire[in_port].push_back({now + link_delay_, flit, nic.stream_vc});
-    --nic.credits[nic.stream_vc];
-    ++nic.flits_sent;
-    if (nic.flits_sent == pkt.size_flits) nic.busy = false;
+    if (slot == kInvalidPacketSlot) {
+      if (nic.source_queue.empty()) {
+        // Nothing but backing-off retries: idle until the earliest matures.
+        if (wake_at != nullptr) {
+          std::uint64_t earliest = std::numeric_limits<std::uint64_t>::max();
+          for (std::size_t i = 0; i < nic.retry_queue.size(); ++i) {
+            earliest = std::min(earliest, packets_[nic.retry_queue[i]].retry_at);
+          }
+          *wake_at = earliest;
+        }
+        return false;
+      }
+      slot = nic.source_queue.front();
+      nic.source_queue.pop_front();
+    }
+    nic.busy = true;
+    nic.streaming = slot;
+    nic.flits_sent = 0;
+    nic.stream_vc = chosen;
+    packets_[nic.streaming].inject_cycle = now;
   }
+  // Send one flit per cycle toward the injection input port; under
+  // wormhole the NIC stalls when the injection buffer has no credit.
+  if (config_.switching == SwitchingMode::kWormhole &&
+      nic.credits[nic.stream_vc] == 0) {
+    DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
+    return true;
+  }
+  Packet& pkt = packets_[nic.streaming];
+  NodeId sw_id = pkt.src_switch;
+  SwitchState& sw = switches_[sw_id];
+  const std::uint32_t in_port =
+      sw.num_net_ports + (h % config_.hosts_per_switch);
+  Flit flit;
+  flit.packet = nic.streaming;
+  flit.seq = nic.flits_sent;
+  flit.head = nic.flits_sent == 0;
+  flit.tail = nic.flits_sent + 1 == pkt.size_flits;
+  sw.wire[in_port].push_back({now + link_delay_, flit, nic.stream_vc});
+  --nic.credits[nic.stream_vc];
+  ++nic.flits_sent;
+  if (nic.flits_sent == pkt.size_flits) nic.busy = false;
+  return true;
+}
+
+void Simulator::nic_stream(std::uint64_t now) {
+  for (HostId h = 0; h < num_hosts_; ++h) nic_step(h, now, nullptr);
 }
 
 void Simulator::deliver_wire_flits(std::uint64_t now) {
@@ -304,7 +305,8 @@ void Simulator::apply_credit_returns(std::uint64_t now) {
 }
 
 bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t vc,
-                             std::uint64_t now) {
+                             std::uint64_t now,
+                             std::vector<RouteCandidate>& scratch) {
   SwitchState& sw = switches_[sw_id];
   InputVc& ivc = sw.in[in_port * config_.vcs + vc];
   const Flit& head = ivc.buffer.front();
@@ -330,8 +332,8 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
     return false;
   }
 
-  policy_->candidates(sw_id, pkt.dst_switch, pkt.route_state, scratch_candidates_);
-  const std::size_t count = scratch_candidates_.size();
+  policy_->candidates(sw_id, pkt.dst_switch, pkt.route_state, scratch);
+  const std::size_t count = scratch.size();
   if (count == 0) return false;
   const auto nbrs = topo_->graph.neighbors(sw_id);
   // Escape candidates (flagged by the policy) must be strictly lower priority
@@ -340,7 +342,7 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
   // spreading is applied within the non-escape prefix only; policies place
   // escape candidates at the end.
   std::size_t adaptive_count = 0;
-  while (adaptive_count < count && !scratch_candidates_[adaptive_count].escape) {
+  while (adaptive_count < count && !scratch[adaptive_count].escape) {
     ++adaptive_count;
   }
   const std::size_t rotate =
@@ -349,7 +351,7 @@ bool Simulator::try_allocate(NodeId sw_id, std::uint32_t in_port, std::uint32_t 
     const std::size_t pos = k < adaptive_count
                                 ? (k + rotate) % adaptive_count
                                 : k;
-    const RouteCandidate& cand = scratch_candidates_[pos];
+    const RouteCandidate& cand = scratch[pos];
     // Find the output port toward cand.next: first matching adjacency entry
     // whose link (and downstream switch) is alive — parallel links (DSN-E Up
     // links) mean the liveness check must be per link id, not per neighbor.
@@ -424,7 +426,7 @@ void Simulator::allocate_vcs(std::uint64_t now) {
           ttl_expired_.push_back(front.packet);
           continue;
         }
-        if (try_allocate(u, port, vc, now)) {
+        if (try_allocate(u, port, vc, now, scratch_candidates_)) {
           ivc.head_ready.pop_front();
         }
       }
@@ -432,17 +434,11 @@ void Simulator::allocate_vcs(std::uint64_t now) {
   }
   // Queued packets age out too: a NIC frozen by a dead source switch (or a
   // retry queue whose destination never heals) would otherwise hold its
-  // packets in flight forever and wedge the drain.
-  if (config_.packet_ttl_cycles != 0) {
-    const auto expired = [&](PacketSlot s) {
-      if (now - packets_[s].gen_cycle <= config_.packet_ttl_cycles) return false;
-      ttl_expired_.push_back(s);
-      return true;
-    };
-    for (NicState& nic : nics_) {
-      std::erase_if(nic.source_queue, expired);
-      std::erase_if(nic.retry_queue, expired);
-    }
+  // packets in flight forever and wedge the drain. The sweep is strided:
+  // TTL deadlines are coarse, so scanning every NIC queue every cycle is
+  // pure overhead at high n (expiries land at the next stride boundary).
+  if (config_.packet_ttl_cycles != 0 && now % config_.ttl_sweep_stride == 0) {
+    sweep_nic_ttl(now, 0, num_hosts_, ttl_expired_);
   }
   if (!ttl_expired_.empty()) {
     purge_packets(ttl_expired_, now, /*allow_requeue=*/false, /*ttl=*/true, nullptr);
@@ -451,110 +447,71 @@ void Simulator::allocate_vcs(std::uint64_t now) {
   }
 }
 
+void Simulator::sweep_nic_ttl(std::uint64_t now, HostId begin, HostId end,
+                              std::vector<PacketSlot>& out) {
+  const auto expired = [&](PacketSlot s) {
+    if (now - packets_[s].gen_cycle <= config_.packet_ttl_cycles) return false;
+    out.push_back(s);
+    return true;
+  };
+  for (HostId h = begin; h < end; ++h) {
+    nics_[h].source_queue.erase_if(expired);
+    nics_[h].retry_queue.erase_if(expired);
+  }
+}
+
 void Simulator::switch_allocation(std::uint64_t now) {
   const std::uint64_t window_start = config_.warmup_cycles;
   const std::uint64_t window_end = config_.warmup_cycles + config_.measure_cycles;
   const bool in_window = now >= window_start && now < window_end;
 
-  for (NodeId u = 0; u < num_switches_; ++u) {
-    SwitchState& sw = switches_[u];
-    // One flit per input port per cycle (scratch reused across cycles).
-    input_used_.assign(sw.num_ports, 0);
-    auto& input_used = input_used_;
-
-    for (std::uint32_t op = 0; op < sw.num_ports; ++op) {
-      // Round-robin over input VCs that hold this output.
-      const std::uint32_t total_ivcs = sw.num_ports * config_.vcs;
-      std::uint32_t& rr = sw.sa_rr[op];
-      std::uint32_t granted = total_ivcs;
-      for (std::uint32_t k = 0; k < total_ivcs; ++k) {
-        const std::uint32_t idx = (rr + k) % total_ivcs;
-        const InputVc& ivc = sw.in[idx];
-        if (ivc.state != InputVc::State::kActive || ivc.out_port != op) continue;
-        const std::uint32_t in_port = idx / config_.vcs;
-        if (input_used[in_port]) continue;
-        if (ivc.buffer.empty()) continue;
-        OutputVc& o = sw.out[op * config_.vcs + ivc.out_vc];
-        if (o.credits == 0) {
-          DSN_OBS_ADD(SimMetrics::get().credit_stalls, 1);
-          continue;
-        }
-        granted = idx;
-        break;
-      }
-      if (granted == total_ivcs) continue;
-      rr = (granted + 1) % total_ivcs;
-
-      InputVc& ivc = sw.in[granted];
-      const std::uint32_t in_port = granted / config_.vcs;
-      const std::uint32_t in_vc = granted % config_.vcs;
-      input_used[in_port] = true;
-
-      const Flit flit = ivc.buffer.front();
-      ivc.buffer.pop_front();
-      OutputVc& o = sw.out[op * config_.vcs + ivc.out_vc];
-
-      if (op < sw.num_net_ports) {
-        // Network traversal: consume a credit, put the flit on the wire
-        // toward the downstream input port (precomputed in downstream_).
-        --o.credits;
-        const auto [down_sw, dport] = downstream_[u][op];
-        switches_[down_sw].wire[dport].push_back({now + link_delay_, flit, ivc.out_vc});
-        if (in_window) ++link_flits_[out_link_index_[u][op]];
-      } else {
-        // Ejection: flit sinks at the host.
-        Packet& pkt = packets_[flit.packet];
-        if (flit.tail) {
-          const std::uint64_t eject = now + link_delay_;
-          if (in_window) ejected_flits_in_window_ += pkt.size_flits;
-          if (pkt.measured) {
-            ++measured_delivered_;
-            measured_hops_ += pkt.hops;
-            DSN_OBS_OBSERVE(SimMetrics::get().latency_cycles,
-                            eject - pkt.gen_cycle);
-            measured_latencies_.push_back(
-                static_cast<std::uint32_t>(eject - pkt.gen_cycle));
-            if (config_.record_packet_traces && traces_.size() < config_.trace_limit) {
-              traces_.push_back({pkt.id, pkt.src_host, pkt.dst_host, pkt.gen_cycle,
-                                 pkt.inject_cycle, eject, pkt.hops, pkt.retries});
-            }
-          }
-          ++delivered_total_;
-          if (config_.epoch_cycles != 0) ++epoch_at(now).delivered;
-          // Any delivery ends the reconnection window of pending down events.
-          for (const std::size_t idx : pending_reconnect_) {
-            fault_log_[idx].reconnected = true;
-            fault_log_[idx].reconnect_cycles = eject - fault_log_[idx].event.cycle;
-          }
-          pending_reconnect_.clear();
-          --in_flight_packets_;
-          free_packet(flit.packet);
-        }
-      }
-
-      // Return a credit for the freed input-buffer slot to the upstream
-      // sender (switch output VC or host NIC).
-      if (in_port < sw.num_net_ports) {
-        const auto [up_sw, up_port] = upstream_[u][in_port];
-        switches_[up_sw].credits[up_port * config_.vcs + in_vc].push_back(
-            {now + link_delay_, 1});
-      } else {
-        const HostId host =
-            u * config_.hosts_per_switch + (in_port - sw.num_net_ports);
-        // NIC credits return after the link delay as well; modeled by a
-        // simple immediate increment shifted via the credit queue of the NIC
-        // is unnecessary detail — apply directly (the NIC already waited a
-        // full buffer of credits before starting a packet).
-        ++nics_[host].credits[in_vc];
-      }
-
-      if (flit.tail) {
-        o.owned = false;
-        ivc.state = InputVc::State::kIdle;
-        ivc.cur_packet = kInvalidPacketSlot;
-      }
-      last_progress_cycle_ = now;
+  // The legacy sink writes every side effect straight to the global state —
+  // exactly what the pre-kernel monolithic loop did.
+  struct DirectSink {
+    Simulator* S;
+    void push_wire(NodeId down_sw, std::uint32_t dport, const Arrival& a) {
+      S->switches_[down_sw].wire[dport].push_back(a);
     }
+    void push_credit(NodeId up_sw, std::uint32_t idx, const CreditReturn& c) {
+      S->switches_[up_sw].credits[idx].push_back(c);
+    }
+    void add_ejected_flits(std::uint32_t flits) {
+      S->ejected_flits_in_window_ += flits;
+    }
+    void on_measured_delivery(Packet& pkt, std::uint64_t eject) {
+      ++S->measured_delivered_;
+      S->measured_hops_ += pkt.hops;
+      DSN_OBS_OBSERVE(SimMetrics::get().latency_cycles, eject - pkt.gen_cycle);
+      S->measured_latencies_.push_back(
+          static_cast<std::uint32_t>(eject - pkt.gen_cycle));
+      if (S->config_.record_packet_traces &&
+          S->traces_.size() < S->config_.trace_limit) {
+        S->traces_.push_back({pkt.id, pkt.src_host, pkt.dst_host, pkt.gen_cycle,
+                              pkt.inject_cycle, eject, pkt.hops, pkt.retries});
+      }
+    }
+    void on_delivery(std::uint64_t now_cycle, std::uint64_t eject) {
+      ++S->delivered_total_;
+      if (S->config_.epoch_cycles != 0) ++S->epoch_at(now_cycle).delivered;
+      // Any delivery ends the reconnection window of pending down events.
+      for (const std::size_t idx : S->pending_reconnect_) {
+        S->fault_log_[idx].reconnected = true;
+        S->fault_log_[idx].reconnect_cycles = eject - S->fault_log_[idx].event.cycle;
+      }
+      S->pending_reconnect_.clear();
+    }
+    void release_packet(PacketSlot slot) {
+      --S->in_flight_packets_;
+      S->free_packet(slot);
+    }
+    void after_grant(NodeId, std::uint32_t, bool) {}
+    void on_progress(std::uint64_t now_cycle) {
+      S->last_progress_cycle_ = now_cycle;
+    }
+  } sink{this};
+
+  for (NodeId u = 0; u < num_switches_; ++u) {
+    sa_switch(u, now, in_window, sa_scratch_, sink);
   }
 }
 
@@ -609,9 +566,8 @@ void Simulator::purge_packets(std::vector<PacketSlot>& slots, std::uint64_t now,
   std::uint64_t flits_removed = 0;
   for (SwitchState& sw : switches_) {
     for (auto& wire : sw.wire) {
-      const std::size_t before = wire.size();
-      std::erase_if(wire, [&](const Arrival& a) { return dead[a.flit.packet] != 0; });
-      flits_removed += before - wire.size();
+      flits_removed +=
+          wire.erase_if([&](const Arrival& a) { return dead[a.flit.packet] != 0; });
     }
     for (InputVc& ivc : sw.in) {
       bool touched = false;
@@ -622,10 +578,10 @@ void Simulator::purge_packets(std::vector<PacketSlot>& slots, std::uint64_t now,
         ivc.cur_packet = kInvalidPacketSlot;
         touched = true;
       }
-      const std::size_t before = ivc.buffer.size();
-      std::erase_if(ivc.buffer, [&](const Flit& f) { return dead[f.packet] != 0; });
-      if (before != ivc.buffer.size()) {
-        flits_removed += before - ivc.buffer.size();
+      const std::size_t removed =
+          ivc.buffer.erase_if([&](const Flit& f) { return dead[f.packet] != 0; });
+      if (removed != 0) {
+        flits_removed += removed;
         touched = true;
       }
       if (!touched) continue;
@@ -730,7 +686,8 @@ void Simulator::reset_route_states() {
   }
 }
 
-void Simulator::apply_fault_events(std::uint64_t now) {
+bool Simulator::apply_fault_events(std::uint64_t now) {
+  bool any_changed = false;
   const std::span<const FaultEvent> events = fault_schedule_.events();
   while (fault_cursor_ < events.size() && events[fault_cursor_].cycle <= now) {
     const FaultEvent ev = events[fault_cursor_++];
@@ -765,6 +722,7 @@ void Simulator::apply_fault_events(std::uint64_t now) {
         break;
     }
     if (!changed) continue;  // redundant event (already in that state)
+    any_changed = true;
     DSN_OBS_ADD(SimMetrics::get().fault_events, 1);
     DSN_OBS_SPAN("sim.fault_recovery");
 
@@ -785,6 +743,7 @@ void Simulator::apply_fault_events(std::uint64_t now) {
     fault_log_.push_back(record);
     last_progress_cycle_ = now;
   }
+  return any_changed;
 }
 
 /// Sampled counter tracks on the active trace: channel occupancy (owned
@@ -810,6 +769,16 @@ void Simulator::emit_trace_sample(std::uint64_t now) {
 }
 
 SimResult Simulator::run() {
+  // Start from the simulator's own fault state (all alive): a policy object
+  // reused across runs must not carry a previous run's degraded tables.
+  policy_->on_fault_update({topo_, link_alive_, switch_alive_});
+
+  DSN_OBS_SPAN("sim.run");
+  if (config_.legacy_core) return run_legacy();
+  return run_active();
+}
+
+SimResult Simulator::run_legacy() {
   const std::uint64_t window_end = config_.warmup_cycles + config_.measure_cycles;
   const std::uint64_t hard_end = window_end + config_.drain_cycles;
   // Watchdog: if flits are in flight but nothing moved for this long, the
@@ -817,14 +786,7 @@ SimResult Simulator::run() {
   const std::uint64_t watchdog = 4 * (router_delay_ + link_delay_) +
                                  4ull * config_.packet_flits + 10'000;
 
-  SimResult result;
-  result.offered_gbps_per_host = config_.offered_gbps_per_host;
-
-  // Start from the simulator's own fault state (all alive): a policy object
-  // reused across runs must not carry a previous run's degraded tables.
-  policy_->on_fault_update({topo_, link_alive_, switch_alive_});
-
-  DSN_OBS_SPAN("sim.run");
+  bool deadlock = false;
   std::uint64_t now = 0;
   last_progress_cycle_ = 0;
   for (; now < hard_end; ++now) {
@@ -845,11 +807,18 @@ SimResult Simulator::run() {
       break;  // every measured packet accounted (delivered or dropped) — done
     }
     if (in_flight_packets_ > 0 && now - last_progress_cycle_ > watchdog) {
-      result.deadlock = true;
+      deadlock = true;
       break;
     }
   }
 
+  return finalize_result(now, deadlock);
+}
+
+SimResult Simulator::finalize_result(std::uint64_t now, bool deadlock) {
+  SimResult result;
+  result.offered_gbps_per_host = config_.offered_gbps_per_host;
+  result.deadlock = deadlock;
   result.cycles_run = now;
   result.packets_measured = measured_generated_;
   result.packets_delivered = measured_delivered_;

@@ -356,6 +356,45 @@ TEST(FaultDeterminism, ByteIdenticalAcrossRebuildWorkerCounts) {
   EXPECT_EQ(traces[0], traces[2]);
 }
 
+TEST(FaultDeterminism, ShardedActiveCoreMatchesLegacyUnderFaults) {
+  // The sharded active-set core under a live fault drill: purges, retries,
+  // TTL expiries and routing rebuilds while shards exchange flits through
+  // mailboxes. Lives in the faults binary so the TSan CI leg (-L faults)
+  // races the epoch barriers; the byte-compare against the legacy core is
+  // the determinism gate.
+  const Topology topo = make_topology_by_name("dsn", 32);
+  UniformTraffic traffic(32 * 4);
+  SimConfig cfg = drill_config();
+  cfg.epoch_cycles = 1'000;
+  cfg.record_packet_traces = true;
+  // Switch 11 never revives: packets headed there must age out.
+  cfg.packet_ttl_cycles = 3'000;
+
+  const LinkId victim = find_shortcut_link(topo);
+  FaultSchedule schedule;
+  schedule.link_down(400, victim).link_up(4'000, victim).switch_down(1'500, 11);
+
+  SimRouting routing(topo);
+  AdaptiveUpDownPolicy policy(routing, 4);
+  const auto run_once = [&](bool legacy, std::uint32_t sim_threads) {
+    SimConfig run_cfg = cfg;
+    run_cfg.legacy_core = legacy;
+    run_cfg.sim_threads = sim_threads;
+    Simulator sim(topo, policy, traffic, run_cfg);
+    sim.set_fault_schedule(schedule);
+    const SimResult res = sim.run();
+    return std::pair<std::string, std::vector<PacketTrace>>(
+        to_json(res).dump(),
+        {sim.packet_traces().begin(), sim.packet_traces().end()});
+  };
+  const auto baseline = run_once(/*legacy=*/true, 1);
+  for (const std::uint32_t threads : {4u, 8u}) {
+    const auto active = run_once(/*legacy=*/false, threads);
+    EXPECT_EQ(baseline.first, active.first) << "sim_threads=" << threads;
+    EXPECT_EQ(baseline.second, active.second) << "sim_threads=" << threads;
+  }
+}
+
 TEST(FaultDeterminism, TraceReplayWithFaultsIsReproducible) {
   // Reuse the trace-replay machinery: a fixed injection schedule plus a fault
   // timeline must give identical per-packet traces on every run.
