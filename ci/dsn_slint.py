@@ -104,6 +104,7 @@ LAYER_DEPS = {
     "routing": {"topology"},
     "sim": {"routing"},
     "analysis": {"sim", "layout"},
+    "flow": {"analysis"},
     "check": {"analysis"},
 }
 

@@ -329,44 +329,64 @@ RoutingFamily default_family(TopologyKind kind) {
   }
 }
 
-RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family,
-                                      const RouteAnalysisOptions& options) {
+BoundRouting make_route_function(const Topology& topo, RoutingFamily family) {
   const std::uint32_t n = topo.num_nodes();
-  DSN_REQUIRE(n >= 2, "route analysis needs at least two nodes");
+  DSN_REQUIRE(n >= 2, "route binding needs at least two nodes");
   const std::vector<std::uint64_t> nums = name_numbers(topo.name);
 
+  BoundRouting b;
   switch (family) {
     case RoutingFamily::kDsn: {
       const std::uint32_t p = ilog2_ceil(n);
       std::uint32_t x = 0;
-      ChannelScheme scheme = ChannelScheme::kBasic;
       if (topo.kind == TopologyKind::kDsn) {
         DSN_REQUIRE(nums.size() == 2 && nums[1] == n,
                     "DSN name does not encode (x, n): " + topo.name);
         x = static_cast<std::uint32_t>(nums[0]);
       } else if (topo.kind == TopologyKind::kDsnE) {
         x = p - 1;
-        scheme = ChannelScheme::kExtended;
+        b.scheme = ChannelScheme::kExtended;
       } else if (topo.kind == TopologyKind::kDsnBidir) {
         x = p - 1;
       } else {
         throw PreconditionError("family 'dsn' does not apply to a " +
                                 std::string(to_string(topo.kind)) + " topology");
       }
-      const Dsn base(n, x);
-      RouteAnalysis ra = analyze_dsn_routes(base, scheme, options);
-      ra.topology = topo.name;
-      return ra;
+      struct State {
+        Dsn base;
+        DsnRouter router;
+        explicit State(std::uint32_t n, std::uint32_t x) : base(n, x), router(base) {}
+      };
+      auto state = std::make_shared<const State>(n, x);
+      auto [bound, law] = dsn_hop_bound(state->base);
+      b.hop_bound = bound;
+      b.hop_bound_law = std::move(law);
+      b.route = [state](NodeId s, NodeId t) { return state->router.route(s, t); };
+      b.channel_map = b.scheme == ChannelScheme::kExtended
+                          ? std::function<std::vector<Channel>(const Route&)>(
+                                [state](const Route& r) {
+                                  return dsn_route_channels_extended(state->base, r);
+                                })
+                          : &single_class_channels;
+      b.state = std::move(state);
+      return b;
     }
     case RoutingFamily::kDsnD: {
       DSN_REQUIRE(topo.kind == TopologyKind::kDsnD,
                   "family 'dsn-d' needs a DSN-D topology");
       DSN_REQUIRE(nums.size() == 2 && nums[1] == n,
                   "DSN-D name does not encode (x, n): " + topo.name);
-      const DsnD dd(n, static_cast<std::uint32_t>(nums[0]));
-      RouteAnalysis ra = analyze_dsn_d_routes(dd, options);
-      ra.topology = topo.name;
-      return ra;
+      auto state = std::make_shared<const DsnD>(n, static_cast<std::uint32_t>(nums[0]));
+      auto [bound, law] = dsn_hop_bound(state->base());
+      b.hop_bound = bound;
+      b.hop_bound_law = std::move(law);
+      b.scheme = ChannelScheme::kExtended;
+      b.route = [state](NodeId s, NodeId t) { return route_dsn_d(*state, s, t); };
+      b.channel_map = [state](const Route& r) {
+        return dsn_route_channels_extended(state->base(), r);
+      };
+      b.state = std::move(state);
+      return b;
     }
     case RoutingFamily::kTorusDor: {
       DSN_REQUIRE(topo.kind == TopologyKind::kTorus2D ||
@@ -374,51 +394,55 @@ RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family
                   "family 'dor' needs a torus topology");
       std::uint32_t bound = 0;
       for (const std::uint32_t d : topo.dims) bound += d / 2;
-      RouteAnalysis ra = analyze_route_function(
-          n,
-          [&](NodeId s, NodeId t) {
-            return path_to_route(s, t, route_torus_dor(topo, s, t));
-          },
-          &single_class_channels, bound,
-          "DOR diameter: sum of per-dimension wrap distances = " +
-              std::to_string(bound),
-          options);
-      ra.topology = topo.name;
-      ra.family = RoutingFamily::kTorusDor;
-      return ra;
+      b.hop_bound = bound;
+      b.hop_bound_law = "DOR diameter: sum of per-dimension wrap distances = " +
+                        std::to_string(bound);
+      b.route = [&topo](NodeId s, NodeId t) {
+        return path_to_route(s, t, route_torus_dor(topo, s, t));
+      };
+      b.channel_map = &single_class_channels;
+      return b;
     }
     case RoutingFamily::kGreedyGrid: {
       DSN_REQUIRE(topo.dims.size() == 2 && topo.dims[0] == topo.dims[1] &&
                       static_cast<std::uint64_t>(topo.dims[0]) * topo.dims[1] == n,
                   "family 'greedy' needs a square grid topology");
-      const CsrView csr(topo.graph);  // one snapshot for all n*(n-1) walks
-      RouteAnalysis ra = analyze_route_function(
-          n,
-          [&](NodeId s, NodeId t) {
-            return path_to_route(s, t, route_greedy_grid(csr, topo.dims[0], s, t));
-          },
-          &single_class_channels, 0,
-          "no analytic per-pair bound (greedy is O(log^2 n) in expectation)",
-          options);
-      ra.topology = topo.name;
-      ra.family = RoutingFamily::kGreedyGrid;
-      return ra;
+      // One CSR snapshot shared by all walks.
+      auto state = std::make_shared<const CsrView>(topo.graph);
+      const std::uint32_t side = topo.dims[0];
+      b.hop_bound_law = "no analytic per-pair bound (greedy is O(log^2 n) in expectation)";
+      b.route = [state, side](NodeId s, NodeId t) {
+        return path_to_route(s, t, route_greedy_grid(*state, side, s, t));
+      };
+      b.channel_map = &single_class_channels;
+      b.state = std::move(state);
+      return b;
     }
     case RoutingFamily::kUpDown: {
       DSN_REQUIRE(is_connected(topo.graph),
                   "up*/down* analysis needs a connected topology");
-      const UpDownRouting ud(topo.graph, 0);
-      RouteAnalysis ra = analyze_route_function(
-          n,
-          [&](NodeId s, NodeId t) { return path_to_route(s, t, ud.route(s, t)); },
-          &single_class_channels, 0, "no analytic per-pair bound for up*/down*",
-          options);
-      ra.topology = topo.name;
-      ra.family = RoutingFamily::kUpDown;
-      return ra;
+      auto state = std::make_shared<const UpDownRouting>(topo.graph, 0);
+      b.hop_bound_law = "no analytic per-pair bound for up*/down*";
+      b.route = [state](NodeId s, NodeId t) {
+        return path_to_route(s, t, state->route(s, t));
+      };
+      b.channel_map = &single_class_channels;
+      b.state = std::move(state);
+      return b;
     }
   }
   throw PreconditionError("unknown routing family");
+}
+
+RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family,
+                                      const RouteAnalysisOptions& options) {
+  const BoundRouting b = make_route_function(topo, family);
+  RouteAnalysis ra = analyze_route_function(topo.num_nodes(), b.route, b.channel_map,
+                                            b.hop_bound, b.hop_bound_law, options);
+  ra.topology = topo.name;
+  ra.family = family;
+  ra.scheme = b.scheme;
+  return ra;
 }
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -146,9 +147,30 @@ RouteAnalysis analyze_dsn_routes(const Dsn& dsn, ChannelScheme scheme,
 RouteAnalysis analyze_dsn_d_routes(const DsnD& dd,
                                    const RouteAnalysisOptions& options = {});
 
-/// Analyze a Topology with the given family, reconstructing routing
+/// A routing function bound to a topology, together with the state that
+/// keeps it callable (router objects, CSR snapshots) and the family's channel
+/// mapping and analytic hop bound. The analyzer and the flow tier both build
+/// routes through this factory, so "the routes the analyzer proves" and "the
+/// routes the flow tier loads links with" are the same definition by
+/// construction. `route` and `channel_map` are safe to call concurrently;
+/// both may reference `topo`, which must outlive the returned object.
+struct BoundRouting {
+  std::function<Route(NodeId, NodeId)> route;
+  std::function<std::vector<Channel>(const Route&)> channel_map;
+  std::shared_ptr<const void> state;  ///< keep-alive for captured routing structures
+  std::uint32_t hop_bound = 0;        ///< analytic per-pair bound; 0 = none applies
+  std::string hop_bound_law;
+  ChannelScheme scheme = ChannelScheme::kBasic;
+};
+
+/// Bind `family`'s routing function to `topo`, reconstructing routing
 /// parameters from the topology kind/name (throws dsn::PreconditionError when
-/// the family does not apply or parameters cannot be recovered).
+/// the family does not apply or parameters cannot be recovered). Note the
+/// up*/down* family materialises O(n^2) distance tables — callers that scale
+/// past small n must pick a table-free family.
+BoundRouting make_route_function(const Topology& topo, RoutingFamily family);
+
+/// Analyze a Topology with the given family (via make_route_function).
 RouteAnalysis analyze_topology_routes(const Topology& topo, RoutingFamily family,
                                       const RouteAnalysisOptions& options = {});
 

@@ -36,6 +36,7 @@
 #include "dsn/layout/layout.hpp"
 
 #include "dsn/sim/config.hpp"
+#include "dsn/sim/demand.hpp"
 #include "dsn/sim/fault.hpp"
 #include "dsn/sim/packet.hpp"
 #include "dsn/sim/policy.hpp"
@@ -45,6 +46,11 @@
 #include "dsn/analysis/experiments.hpp"
 #include "dsn/analysis/factory.hpp"
 #include "dsn/analysis/faults.hpp"
+
+#include "dsn/flow/fair_share.hpp"
+#include "dsn/flow/flow_sim.hpp"
+#include "dsn/flow/routes.hpp"
+#include "dsn/flow/workload.hpp"
 
 #include "dsn/check/validator.hpp"
 #include "dsn/check/violation.hpp"

@@ -1,0 +1,207 @@
+// dsn-slint: deterministic — see fair_share.hpp.
+#include "dsn/flow/fair_share.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "dsn/common/error.hpp"
+#include "dsn/common/thread_pool.hpp"
+
+namespace dsn::flow {
+
+namespace {
+
+/// Saturation threshold: a resource whose residual has fallen to numerical
+/// noise relative to its capacity is full.
+double saturation_eps(double capacity) { return 1e-9 * std::max(1.0, capacity); }
+
+struct ShardRange {
+  std::size_t begin, end;
+};
+
+ShardRange shard_range(std::size_t total, std::size_t shard, std::size_t shards) {
+  return {total * shard / shards, total * (shard + 1) / shards};
+}
+
+}  // namespace
+
+FairShareResult max_min_fair_rates(const std::vector<double>& capacity,
+                                   const std::vector<std::uint32_t>& route_pool,
+                                   const std::vector<std::uint64_t>& route_begin,
+                                   std::uint32_t max_rounds, std::uint32_t shards) {
+  DSN_REQUIRE(!route_begin.empty(), "route_begin must hold flows + 1 offsets");
+  DSN_REQUIRE(route_begin.back() == route_pool.size(),
+              "route_begin does not cover the route pool");
+  const std::size_t flows = route_begin.size() - 1;
+  const std::size_t caps = capacity.size();
+
+  FairShareResult res;
+  res.rate.assign(flows, 0.0);
+  res.bottleneck.assign(flows, kNoBottleneck);
+  if (flows == 0) return res;
+
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(flows, shards != 0 ? shards : 4 * pool.size()));
+
+  // Residual capacity and the number of unfrozen flows crossing each
+  // resource. Counts are plain integers mutated through relaxed atomic_ref:
+  // additions commute, so the totals are exact for any shard interleaving.
+  std::vector<double> residual = capacity;
+  std::vector<std::uint32_t> count(caps, 0);
+  std::vector<std::uint8_t> saturated(caps, 0);
+  std::vector<std::uint8_t> frozen(flows, 0);
+
+  pool.parallel_for(0, num_shards, [&](std::size_t k) {
+    const auto [begin, end] = shard_range(flows, k, num_shards);
+    for (std::size_t f = begin; f < end; ++f) {
+      DSN_REQUIRE(route_begin[f + 1] > route_begin[f],
+                  "every flow must cross at least one resource");
+      for (std::uint64_t i = route_begin[f]; i < route_begin[f + 1]; ++i) {
+        const std::uint32_t c = route_pool[i];
+        DSN_REQUIRE(c < caps, "route resource index out of range");
+        std::atomic_ref<std::uint32_t>(count[c]).fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Resources touched by any flow: the per-round scans only walk this list.
+  std::vector<std::uint32_t> active_caps;
+  for (std::size_t c = 0; c < caps; ++c) {
+    if (count[c] > 0) {
+      DSN_REQUIRE(capacity[c] > 0.0, "a used resource must have positive capacity");
+      active_caps.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  const std::size_t cap_shards =
+      std::max<std::size_t>(1, std::min(active_caps.size(), num_shards));
+
+  // Every round saturates at least one resource, so the loop needs at most
+  // |active resources| rounds; max_rounds 0 means exactly that natural bound.
+  const std::uint32_t round_limit =
+      max_rounds != 0 ? max_rounds
+                      : static_cast<std::uint32_t>(
+                            std::min<std::size_t>(active_caps.size(),
+                                                  ~std::uint32_t{0}));
+  std::size_t unfrozen = flows;
+  while (unfrozen > 0 && res.rounds < round_limit) {
+    ++res.rounds;
+
+    // Equal increment for every unfrozen flow: the tightest residual share.
+    // Per-shard minima merge with min — order-independent, so the increment
+    // (and through it every rate) is bitwise reproducible.
+    std::vector<double> shard_min(cap_shards, std::numeric_limits<double>::infinity());
+    pool.parallel_for(0, cap_shards, [&](std::size_t k) {
+      const auto [begin, end] = shard_range(active_caps.size(), k, cap_shards);
+      double local = std::numeric_limits<double>::infinity();
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t c = active_caps[i];
+        if (count[c] == 0) continue;
+        local = std::min(local, residual[c] / count[c]);
+      }
+      shard_min[k] = local;
+    });
+    double share = std::numeric_limits<double>::infinity();
+    for (const double m : shard_min) share = std::min(share, m);
+    if (!std::isfinite(share)) break;  // no capacitated resource left (cannot happen)
+
+    pool.parallel_for(0, num_shards, [&](std::size_t k) {
+      const auto [begin, end] = shard_range(flows, k, num_shards);
+      for (std::size_t f = begin; f < end; ++f) {
+        if (frozen[f] == 0) res.rate[f] += share;
+      }
+    });
+
+    pool.parallel_for(0, cap_shards, [&](std::size_t k) {
+      const auto [begin, end] = shard_range(active_caps.size(), k, cap_shards);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t c = active_caps[i];
+        if (count[c] == 0) continue;
+        residual[c] -= share * count[c];
+        if (residual[c] <= saturation_eps(capacity[c])) saturated[c] = 1;
+      }
+    });
+
+    // Freeze flows crossing a saturated resource; their counts leave the
+    // sharing pool so the survivors split the remaining headroom.
+    std::vector<std::uint64_t> shard_frozen(num_shards, 0);
+    pool.parallel_for(0, num_shards, [&](std::size_t k) {
+      const auto [begin, end] = shard_range(flows, k, num_shards);
+      for (std::size_t f = begin; f < end; ++f) {
+        if (frozen[f] != 0) continue;
+        std::uint32_t bottleneck = kNoBottleneck;
+        for (std::uint64_t i = route_begin[f]; i < route_begin[f + 1]; ++i) {
+          if (saturated[route_pool[i]] != 0) {
+            bottleneck = route_pool[i];
+            break;
+          }
+        }
+        if (bottleneck == kNoBottleneck) continue;
+        frozen[f] = 1;
+        res.bottleneck[f] = bottleneck;
+        ++shard_frozen[k];
+        for (std::uint64_t i = route_begin[f]; i < route_begin[f + 1]; ++i) {
+          std::atomic_ref<std::uint32_t>(count[route_pool[i]])
+              .fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    for (const std::uint64_t n : shard_frozen) unfrozen -= n;
+  }
+  res.converged = unfrozen == 0;
+  return res;
+}
+
+std::vector<std::string> check_max_min(const std::vector<double>& capacity,
+                                       const std::vector<std::uint32_t>& route_pool,
+                                       const std::vector<std::uint64_t>& route_begin,
+                                       const FairShareResult& result, double tol,
+                                       std::size_t max_violations) {
+  const std::size_t flows = route_begin.size() - 1;
+  const std::size_t caps = capacity.size();
+  std::vector<std::string> violations;
+  const auto report = [&](std::string msg) {
+    if (violations.size() < max_violations) violations.push_back(std::move(msg));
+  };
+
+  // Serial index-order accumulation: usage and per-resource rate maxima.
+  std::vector<double> usage(caps, 0.0);
+  std::vector<double> max_rate(caps, 0.0);
+  for (std::size_t f = 0; f < flows; ++f) {
+    for (std::uint64_t i = route_begin[f]; i < route_begin[f + 1]; ++i) {
+      usage[route_pool[i]] += result.rate[f];
+      max_rate[route_pool[i]] = std::max(max_rate[route_pool[i]], result.rate[f]);
+    }
+  }
+
+  for (std::size_t c = 0; c < caps; ++c) {
+    if (usage[c] > capacity[c] * (1.0 + tol)) {
+      report("resource " + std::to_string(c) + " over capacity: usage " +
+             std::to_string(usage[c]) + " > " + std::to_string(capacity[c]));
+    }
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    const std::uint32_t c = result.bottleneck[f];
+    if (c == kNoBottleneck) {
+      if (result.converged)
+        report("flow " + std::to_string(f) + " has no bottleneck on a converged solve");
+      continue;
+    }
+    const double slack = capacity[c] * tol + tol;
+    if (usage[c] < capacity[c] - slack) {
+      report("flow " + std::to_string(f) + " bottleneck " + std::to_string(c) +
+             " is not saturated: usage " + std::to_string(usage[c]) + " < capacity " +
+             std::to_string(capacity[c]));
+    }
+    if (result.rate[f] + slack < max_rate[c]) {
+      report("flow " + std::to_string(f) + " rate " + std::to_string(result.rate[f]) +
+             " is not maximal at its bottleneck " + std::to_string(c) + " (max " +
+             std::to_string(max_rate[c]) + ")");
+    }
+  }
+  return violations;
+}
+
+}  // namespace dsn::flow

@@ -1,0 +1,325 @@
+// dsn-slint: deterministic — see flow_sim.hpp.
+#include "dsn/flow/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsn/common/error.hpp"
+#include "dsn/common/thread_pool.hpp"
+#include "dsn/obs/obs.hpp"
+
+namespace dsn::flow {
+
+#if DSN_OBS
+namespace {
+
+struct FlowMetrics {
+  obs::MetricId flows = obs::MetricsRegistry::global().counter("dsn.flow.flows");
+  obs::MetricId completed =
+      obs::MetricsRegistry::global().counter("dsn.flow.flows_completed");
+  obs::MetricId epochs = obs::MetricsRegistry::global().counter("dsn.flow.epochs");
+  obs::MetricId waterfill_rounds =
+      obs::MetricsRegistry::global().counter("dsn.flow.waterfill_rounds");
+  obs::MetricId active = obs::MetricsRegistry::global().gauge("dsn.flow.active_flows");
+  obs::MetricId fct_cycles = obs::MetricsRegistry::global().histogram(
+      "dsn.flow.fct_cycles",
+      {256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
+
+  static const FlowMetrics& get() {
+    static FlowMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+#endif  // DSN_OBS
+
+void FlowConfig::validate() const {
+  DSN_REQUIRE(hosts_per_switch > 0, "need at least one host per switch");
+  DSN_REQUIRE(link_capacity > 0.0 && host_capacity > 0.0,
+              "capacities must be positive");
+  DSN_REQUIRE(min_epoch_cycles > 0, "epoch floor must be positive");
+  DSN_REQUIRE(max_epoch_cycles >= min_epoch_cycles,
+              "epoch ceiling below the floor");
+  DSN_REQUIRE(max_epochs > 0, "epoch ceiling must be positive");
+}
+
+FlowSimulator::FlowSimulator(const Topology& topo, const FlowConfig& config)
+    : topo_(&topo), config_(config), csr_(topo.graph) {
+  config_.validate();
+  num_hosts_ = topo.num_nodes() * config_.hosts_per_switch;
+
+  const NodeId n = csr_.num_nodes();
+  row_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) row_off_[u + 1] = row_off_[u] + csr_.degree(u);
+
+  // Resource capacities: one per directed arc, then per-host injection and
+  // ejection ports. Parallel (u, v) links pool their bandwidth on the first
+  // arc of the pair (map_route always picks the first), so the remaining
+  // parallel arcs are never referenced.
+  const std::size_t arcs = csr_.num_arcs();
+  capacity_.assign(arcs + 2ULL * num_hosts_, config_.host_capacity);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nb = csr_.neighbors(u);
+    for (std::size_t k = 0; k < nb.size(); ++k) {
+      std::size_t mult = 0;
+      bool first = true;
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        if (nb[j] != nb[k]) continue;
+        ++mult;
+        if (j < k) first = false;
+      }
+      capacity_[row_off_[u] + k] =
+          first ? config_.link_capacity * static_cast<double>(mult)
+                : config_.link_capacity;
+    }
+  }
+
+  routes_ = std::make_unique<FlowRoutes>(topo, csr_, config_.updown_max_n);
+}
+
+void FlowSimulator::map_route(HostId src, HostId dst, FlowRoutes::Scratch& scratch,
+                              std::vector<NodeId>& path,
+                              std::vector<std::uint32_t>& out) const {
+  DSN_REQUIRE(src < num_hosts_ && dst < num_hosts_, "demand host id out of range");
+  const std::size_t arcs = csr_.num_arcs();
+  out.push_back(static_cast<std::uint32_t>(arcs + src));
+  routes_->switch_path(src / config_.hosts_per_switch, dst / config_.hosts_per_switch,
+                       scratch, path);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId from = path[i], to = path[i + 1];
+    const auto nb = csr_.neighbors(from);
+    std::size_t k = 0;
+    while (k < nb.size() && nb[k] != to) ++k;
+    DSN_REQUIRE(k < nb.size(), "route hop is not a physical link");
+    out.push_back(static_cast<std::uint32_t>(row_off_[from] + k));
+  }
+  out.push_back(static_cast<std::uint32_t>(arcs + num_hosts_ + dst));
+}
+
+void FlowSimulator::admit(const std::vector<Demand>& demands) {
+  const std::size_t base = flows_.count();
+  const std::size_t nd = demands.size();
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(nd, config_.shards != 0 ? config_.shards
+                                                       : 4 * pool.size()));
+
+  // Routes per shard, merged in shard (= demand) order.
+  std::vector<std::vector<std::uint32_t>> shard_pool(num_shards);
+  std::vector<std::vector<std::uint32_t>> shard_len(num_shards);
+  pool.parallel_for(0, num_shards, [&](std::size_t k) {
+    const std::size_t begin = nd * k / num_shards;
+    const std::size_t end = nd * (k + 1) / num_shards;
+    FlowRoutes::Scratch scratch;
+    std::vector<NodeId> path;
+    std::vector<std::uint32_t> route;
+    for (std::size_t i = begin; i < end; ++i) {
+      route.clear();
+      map_route(demands[i].src, demands[i].dst, scratch, path, route);
+      shard_len[k].push_back(static_cast<std::uint32_t>(route.size()));
+      shard_pool[k].insert(shard_pool[k].end(), route.begin(), route.end());
+    }
+  });
+
+  if (flows_.route_begin.empty()) flows_.route_begin.push_back(0);
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    flows_.pool.insert(flows_.pool.end(), shard_pool[k].begin(), shard_pool[k].end());
+    for (const std::uint32_t len : shard_len[k]) {
+      const Demand& d = demands[i++];
+      DSN_REQUIRE(d.flits > 0, "demands must carry at least one flit");
+      flows_.src.push_back(d.src);
+      flows_.dst.push_back(d.dst);
+      flows_.remaining.push_back(static_cast<double>(d.flits));
+      flows_.size.push_back(d.flits);
+      flows_.fct.push_back(0.0);
+      flows_.route_begin.push_back(flows_.route_begin.back() + len);
+    }
+  }
+  active_.reserve(active_.size() + nd);
+  for (std::size_t f = 0; f < nd; ++f)
+    active_.push_back(static_cast<std::uint32_t>(base + f));
+  DSN_OBS_ONLY(DSN_OBS_ADD(FlowMetrics::get().flows, nd);)
+}
+
+namespace {
+
+/// Adapter running a static demand batch through the closed-loop path.
+class StaticDriver final : public WorkloadDriver {
+ public:
+  explicit StaticDriver(const std::vector<Demand>& demands) : demands_(&demands) {}
+  const char* name() const override { return "static"; }
+  void start(std::vector<Demand>& out) override {
+    out.insert(out.end(), demands_->begin(), demands_->end());
+  }
+  void on_complete(std::uint64_t, double, std::vector<Demand>&) override {}
+
+ private:
+  const std::vector<Demand>* demands_;
+};
+
+}  // namespace
+
+FlowResult FlowSimulator::run(const std::vector<Demand>& demands) {
+  StaticDriver driver(demands);
+  return run_loop(driver);
+}
+
+FlowResult FlowSimulator::run(WorkloadDriver& driver) { return run_loop(driver); }
+
+FlowResult FlowSimulator::run_loop(WorkloadDriver& driver) {
+  DSN_OBS_SPAN("flow.run");
+  FlowResult res;
+  res.topology = topo_->name;
+  res.route_mode = routes_->mode();
+  res.workload = driver.name();
+  res.hosts = num_hosts_;
+
+  std::vector<Demand> pending;
+  driver.start(pending);
+
+  double now = 0.0;
+  double fct_duration_sum = 0.0;
+  std::vector<double> admit_cycle;  // per flow, parallel to flows_
+  std::vector<std::uint64_t> solve_begin;
+  std::vector<std::uint32_t> solve_pool;
+  std::vector<std::pair<std::uint32_t, double>> completed;  // (flow, fct)
+
+  while (true) {
+    if (!pending.empty()) {
+      admit(pending);
+      admit_cycle.resize(flows_.count(), now);
+      pending.clear();
+    }
+    if (active_.empty()) break;
+    if (res.epochs == config_.max_epochs) {
+      res.converged = false;
+      break;
+    }
+    ++res.epochs;
+    DSN_OBS_ONLY(DSN_OBS_ADD(FlowMetrics::get().epochs, 1);)
+    DSN_OBS_ONLY(DSN_OBS_GAUGE_SET(FlowMetrics::get().active,
+                                   static_cast<std::int64_t>(active_.size()));)
+
+    // Restrict the fair-share problem to the open flows (admission order).
+    solve_begin.assign(1, 0);
+    solve_pool.clear();
+    for (const std::uint32_t f : active_) {
+      solve_pool.insert(solve_pool.end(), flows_.pool.begin() + flows_.route_begin[f],
+                        flows_.pool.begin() + flows_.route_begin[f + 1]);
+      solve_begin.push_back(solve_pool.size());
+    }
+    const FairShareResult fs = max_min_fair_rates(
+        capacity_, solve_pool, solve_begin, config_.max_waterfill_rounds,
+        config_.shards);
+    res.max_waterfill_rounds = std::max(res.max_waterfill_rounds, fs.rounds);
+    res.waterfill_rounds_total += fs.rounds;
+    DSN_OBS_ONLY(DSN_OBS_ADD(FlowMetrics::get().waterfill_rounds, fs.rounds);)
+    if (!fs.converged) res.converged = false;
+    if (config_.verify) {
+      const std::vector<std::string> violations =
+          check_max_min(capacity_, solve_pool, solve_begin, fs);
+      res.verify_violations += violations.size();
+      if (res.verify_first.empty() && !violations.empty())
+        res.verify_first = violations.front();
+    }
+
+    // Earliest completion under the solved rates; clamp into the epoch
+    // bounds. All of this is serial in admission order.
+    double t_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (fs.rate[i] > 0.0)
+        t_min = std::min(t_min, flows_.remaining[active_[i]] / fs.rate[i]);
+    }
+    if (!std::isfinite(t_min)) {
+      res.converged = false;  // a zero-rate flow can never finish
+      break;
+    }
+    const double dt =
+        std::clamp(t_min, static_cast<double>(config_.min_epoch_cycles),
+                   static_cast<double>(config_.max_epoch_cycles));
+
+    completed.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const std::uint32_t f = active_[i];
+      const double rate = fs.rate[i];
+      const double delivered = rate * dt;
+      if (rate > 0.0 && flows_.remaining[f] <= delivered * (1.0 + 1e-12)) {
+        const double fct = now + flows_.remaining[f] / rate;
+        res.flits_delivered += flows_.remaining[f];
+        flows_.remaining[f] = 0.0;
+        flows_.fct[f] = fct;
+        completed.emplace_back(f, fct);
+      } else {
+        flows_.remaining[f] -= delivered;
+        res.flits_delivered += delivered;
+        active_[kept++] = f;
+      }
+    }
+    active_.resize(kept);
+    now += dt;
+
+    for (const auto& [f, fct] : completed) {
+      ++res.flows_completed;
+      const double duration = fct - admit_cycle[f];
+      fct_duration_sum += duration;
+      res.max_fct_cycles = std::max(res.max_fct_cycles, duration);
+      res.makespan_cycles = std::max(res.makespan_cycles, fct);
+      DSN_OBS_ONLY(DSN_OBS_ADD(FlowMetrics::get().completed, 1);)
+      DSN_OBS_ONLY(DSN_OBS_OBSERVE(FlowMetrics::get().fct_cycles,
+                                   static_cast<std::uint64_t>(duration));)
+      driver.on_complete(f, fct, pending);
+    }
+  }
+
+  res.flows = flows_.count();
+  if (!active_.empty()) res.converged = false;
+  for (const std::uint64_t s : flows_.size) res.flits_total += s;
+  std::uint64_t switch_hops = 0;
+  for (std::size_t f = 0; f < flows_.count(); ++f) {
+    // Route resources = inject + arcs + eject, so arcs = len - 2.
+    switch_hops += flows_.route_begin[f + 1] - flows_.route_begin[f] - 2;
+  }
+  if (res.flows > 0)
+    res.avg_route_hops = static_cast<double>(switch_hops) / static_cast<double>(res.flows);
+  if (res.flows_completed > 0)
+    res.avg_fct_cycles = fct_duration_sum / static_cast<double>(res.flows_completed);
+  if (res.makespan_cycles > 0.0) {
+    res.aggregate_flits_per_cycle = res.flits_delivered / res.makespan_cycles;
+    res.per_host_flits_per_cycle =
+        res.aggregate_flits_per_cycle / static_cast<double>(num_hosts_);
+    res.per_host_gbps = config_.flits_per_cycle_to_gbps(res.per_host_flits_per_cycle);
+  }
+  return res;
+}
+
+Json to_json(const FlowResult& r) {
+  Json j = Json::object();
+  j.set("topology", r.topology);
+  j.set("route_mode", r.route_mode);
+  j.set("workload", r.workload);
+  j.set("hosts", r.hosts);
+  j.set("flows", r.flows);
+  j.set("flows_completed", r.flows_completed);
+  j.set("flits_total", r.flits_total);
+  j.set("flits_delivered", r.flits_delivered);
+  j.set("epochs", r.epochs);
+  j.set("makespan_cycles", r.makespan_cycles);
+  j.set("max_waterfill_rounds", static_cast<std::uint64_t>(r.max_waterfill_rounds));
+  j.set("waterfill_rounds_total", r.waterfill_rounds_total);
+  j.set("converged", r.converged);
+  j.set("aggregate_flits_per_cycle", r.aggregate_flits_per_cycle);
+  j.set("per_host_flits_per_cycle", r.per_host_flits_per_cycle);
+  j.set("per_host_gbps", r.per_host_gbps);
+  j.set("avg_fct_cycles", r.avg_fct_cycles);
+  j.set("max_fct_cycles", r.max_fct_cycles);
+  j.set("avg_route_hops", r.avg_route_hops);
+  j.set("verify_violations", r.verify_violations);
+  j.set("verify_first", r.verify_first);
+  return j;
+}
+
+}  // namespace dsn::flow

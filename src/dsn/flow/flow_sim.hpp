@@ -1,0 +1,149 @@
+// dsn-slint: deterministic — FlowResult feeds byte-identical replay gates
+// across DSN_THREADS and shard counts; see fair_share.hpp for why every
+// reduction in the tier is partition-independent.
+//
+// The flow-level simulation tier. Where the flit simulator moves individual
+// flits cycle by cycle, this tier treats each demand as a fluid *flow* over
+// its switch-level route and advances time in discrete epochs:
+//
+//   1. admit newly emitted demands (routes computed in parallel shards,
+//      merged in shard order);
+//   2. solve the max-min fair rate allocation over per-resource capacities
+//      (directed link halves + host injection/ejection ports, each 1
+//      flit/cycle like the flit sim) by progressive water-filling;
+//   3. advance to the earliest flow completion (clamped to the configured
+//      epoch bounds), retire completed flows at their exact completion time,
+//      and hand them to the workload driver, which may emit successors.
+//
+// The tier is cross-validated against the flit simulator at small n
+// (tests/test_flow_crossval.cpp) and scales to millions of hosts where the
+// flit sim cannot go (bench/micro_flow.cpp, BENCH_flow.json).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsn/common/json.hpp"
+#include "dsn/flow/fair_share.hpp"
+#include "dsn/flow/routes.hpp"
+#include "dsn/graph/csr.hpp"
+#include "dsn/sim/demand.hpp"
+#include "dsn/topology/topology.hpp"
+
+namespace dsn::flow {
+
+struct FlowConfig {
+  std::uint32_t hosts_per_switch = 4;  ///< matches SimConfig for cross-validation
+  double link_bw_gbps = 96.0;          ///< per link per direction (SimConfig default)
+  std::uint32_t flit_bits = 256;
+  /// Capacities in flits/cycle — 1.0 each matches the flit sim's one flit
+  /// per cycle per directed link half and per NIC direction.
+  double link_capacity = 1.0;
+  double host_capacity = 1.0;
+  /// Epoch bounds: each epoch advances to the earliest flow completion,
+  /// clamped into [min_epoch_cycles, max_epoch_cycles]. The floor batches
+  /// completions when millions of flows would otherwise each trigger a
+  /// water-filling solve; 1 = exact completion-event stepping.
+  std::uint64_t min_epoch_cycles = 1;
+  std::uint64_t max_epoch_cycles = 1ULL << 20;
+  std::uint64_t max_epochs = 1ULL << 20;  ///< run aborts (converged=false) past this
+  /// Per-solve round ceiling; 0 = the natural bound (one saturated resource
+  /// per round, at most the number of used resources).
+  std::uint32_t max_waterfill_rounds = 0;
+  std::uint32_t shards = 0;                 ///< 0 = auto from the global pool
+  std::uint32_t updown_max_n = 4096;        ///< FlowRoutes table fallback cap
+  bool verify = false;  ///< run check_max_min on every solve (tests, dsn-lint)
+
+  double cycle_ns() const { return static_cast<double>(flit_bits) / link_bw_gbps; }
+  double flits_per_cycle_to_gbps(double rate) const { return rate * link_bw_gbps; }
+  void validate() const;
+};
+
+struct FlowResult {
+  std::string topology;
+  std::string route_mode;
+  std::string workload;
+  std::uint64_t hosts = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flits_total = 0;
+  double flits_delivered = 0.0;
+  std::uint64_t epochs = 0;
+  double makespan_cycles = 0.0;  ///< last completion time (exact, sub-epoch)
+  std::uint32_t max_waterfill_rounds = 0;
+  std::uint64_t waterfill_rounds_total = 0;
+  /// True iff every water-filling solve converged, every flow completed and
+  /// the epoch ceiling was not hit.
+  bool converged = true;
+  double aggregate_flits_per_cycle = 0.0;  ///< flits_delivered / makespan
+  double per_host_flits_per_cycle = 0.0;
+  double per_host_gbps = 0.0;
+  double avg_fct_cycles = 0.0;
+  double max_fct_cycles = 0.0;
+  double avg_route_hops = 0.0;  ///< mean switch hops per flow
+  std::uint64_t verify_violations = 0;  ///< check_max_min findings (verify only)
+  std::string verify_first;             ///< first finding, for reports
+};
+
+/// Byte-stable JSON projection (key order fixed; doubles via Json's dump).
+Json to_json(const FlowResult& result);
+
+/// Closed-loop demand source. The simulator admits demands in emission order
+/// and reports completions in admission order at exact completion times, so
+/// driver state evolves deterministically.
+class WorkloadDriver {
+ public:
+  virtual ~WorkloadDriver() = default;
+  virtual const char* name() const = 0;
+  /// Emit the initial demand wave.
+  virtual void start(std::vector<Demand>& out) = 0;
+  /// Demand `index` (global admission order) completed at `cycle`; append
+  /// successor demands to `out`.
+  virtual void on_complete(std::uint64_t index, double cycle, std::vector<Demand>& out) = 0;
+};
+
+class FlowSimulator {
+ public:
+  FlowSimulator(const Topology& topo, const FlowConfig& config);
+
+  /// Run a static demand batch to completion (all demands start at cycle 0).
+  FlowResult run(const std::vector<Demand>& demands);
+  /// Run a closed-loop workload to completion.
+  FlowResult run(WorkloadDriver& driver);
+
+  const FlowRoutes& routes() const { return *routes_; }
+  std::uint32_t num_hosts() const { return num_hosts_; }
+
+ private:
+  struct Flows {
+    std::vector<HostId> src, dst;
+    std::vector<double> remaining;   // flits left
+    std::vector<std::uint64_t> size; // original flits
+    std::vector<double> fct;         // completion cycle (set on retire)
+    std::vector<std::uint64_t> route_begin;  // size flows+1, into pool
+    std::vector<std::uint32_t> pool;         // resource ids
+    std::size_t count() const { return src.size(); }
+  };
+
+  void admit(const std::vector<Demand>& demands);
+  FlowResult run_loop(WorkloadDriver& driver);
+  /// Map the switch path of (src, dst) to resource ids: injection port,
+  /// first matching directed arc per hop, ejection port.
+  void map_route(HostId src, HostId dst, FlowRoutes::Scratch& scratch,
+                 std::vector<NodeId>& path, std::vector<std::uint32_t>& out) const;
+
+  const Topology* topo_;
+  FlowConfig config_;
+  CsrView csr_;
+  std::vector<std::uint64_t> row_off_;  ///< node -> first arc index in csr_
+  std::vector<double> capacity_;        ///< arcs, then inject, then eject
+  std::unique_ptr<FlowRoutes> routes_;
+  std::uint32_t num_hosts_ = 0;
+
+  Flows flows_;
+  std::vector<std::uint32_t> active_;  ///< open flow ids, admission order
+};
+
+}  // namespace dsn::flow

@@ -1,0 +1,60 @@
+// dsn-slint: deterministic — driver RNG streams are seeded and consumed
+// serially; completions arrive in admission order, so successor demands are a
+// pure function of (params, seed).
+//
+// Closed-loop datacenter workload drivers for the flow tier. Each driver
+// emits an initial demand wave and reacts to flow completions with successor
+// demands, modelling the dependency structure of the application:
+//
+//   hdfs-read      — clients stream blocks from seeded replica hosts, at most
+//                    `window` outstanding block reads per client;
+//   hdfs-write     — per block, a two-stage replication pipeline (client to a
+//                    remote-rack replica, then intra-rack to the third copy),
+//                    chained through completions;
+//   shuffle        — all-to-all sort shuffle: every reducer fetches one
+//                    partition from every mapper, in a seeded per-reducer
+//                    order, `window` fetches in flight per reducer;
+//   allreduce-ring — ring all-reduce: 2(k-1) barrier-synchronised steps of k
+//                    neighbour transfers of one chunk each;
+//   allreduce-tree — binary-tree reduce then broadcast, one barrier per level;
+//   rebuild        — storage rebuild after a host loss: surviving replicas
+//                    re-replicate the lost blocks many-to-many, window-limited.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsn/flow/flow_sim.hpp"
+
+namespace dsn::flow {
+
+struct WorkloadParams {
+  std::uint32_t hosts = 0;         ///< total hosts in the topology (required)
+  std::uint32_t rack_hosts = 32;   ///< hosts per rack, for replica placement
+  std::uint32_t clients = 16;      ///< participants (clients/mappers/ranks)
+  std::uint32_t units = 8;         ///< work units per participant (blocks, ...)
+  std::uint64_t unit_flits = 256;  ///< flits per unit (block/partition/buffer)
+  std::uint32_t window = 4;        ///< concurrent flows per participant
+  std::uint64_t seed = 1;
+  void validate() const;
+};
+
+/// Construct a driver by name: "hdfs-read", "hdfs-write", "shuffle",
+/// "allreduce-ring", "allreduce-tree", "rebuild". Throws PreconditionError
+/// for unknown names or infeasible params (e.g. more clients than hosts).
+std::unique_ptr<WorkloadDriver> make_workload(const std::string& name,
+                                              const WorkloadParams& params);
+
+/// All workload names accepted by make_workload, in documentation order.
+const std::vector<std::string>& workload_names();
+
+/// Flatten a driver into the full demand set it would ever emit, by replaying
+/// completions at cycle 0 in admission order. The result loses the driver's
+/// dependency structure (everything becomes concurrent) — use it to hand the
+/// *same* batch to both simulation tiers in cross-validation, where identical
+/// concurrency matters more than closed-loop realism.
+std::vector<Demand> expand_all_demands(WorkloadDriver& driver);
+
+}  // namespace dsn::flow

@@ -1,0 +1,110 @@
+// Determinism gates for the flow tier: results must be byte-identical for
+// every solver shard count (in-process, comparing the full JSON projection)
+// and for every DSN_THREADS value (subprocess, comparing `dsn-lint flow
+// --json` output bytes across thread-pool widths). Registered under
+// `ctest -L determinism` via the determinism.flow entry.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/flow/flow_sim.hpp"
+#include "dsn/flow/workload.hpp"
+
+namespace dsn::flow {
+namespace {
+
+/// One full closed-loop run, projected to bytes.
+std::string run_to_bytes(const std::string& topology, const std::string& workload,
+                         std::uint32_t n, std::uint32_t shards) {
+  const Topology topo = make_topology_by_name(topology, n);
+  FlowConfig cfg;
+  cfg.shards = shards;
+  FlowSimulator sim(topo, cfg);
+  WorkloadParams params;
+  params.hosts = sim.num_hosts();
+  params.clients = 16;
+  params.units = 6;
+  params.unit_flits = 192;
+  params.seed = 11;
+  const std::unique_ptr<WorkloadDriver> driver = make_workload(workload, params);
+  return to_json(sim.run(*driver)).dump();
+}
+
+TEST(FlowDeterminism, ResultsByteIdenticalAcrossShardCounts) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"dsn", "shuffle"},
+      {"random-regular", "hdfs-write"},
+      {"dln", "allreduce-ring"},
+  };
+  for (const auto& [topology, workload] : cases) {
+    const std::string base = run_to_bytes(topology, workload, 128, /*shards=*/1);
+    for (const std::uint32_t shards : {2u, 4u, 8u, 13u}) {
+      EXPECT_EQ(base, run_to_bytes(topology, workload, 128, shards))
+          << topology << "/" << workload << " shards=" << shards;
+    }
+  }
+}
+
+TEST(FlowDeterminism, StaticBatchMatchesRepeatedRun) {
+  // Two simulators fed the same expanded batch must agree byte-for-byte —
+  // admission has no hidden per-instance state.
+  const Topology topo = make_topology_by_name("dsn", 128);
+  WorkloadParams params;
+  params.clients = 16;
+  params.units = 6;
+  params.seed = 3;
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    FlowConfig cfg;
+    FlowSimulator sim(topo, cfg);
+    params.hosts = sim.num_hosts();
+    const std::unique_ptr<WorkloadDriver> driver = make_workload("hdfs-read", params);
+    const std::vector<Demand> batch = expand_all_demands(*driver);
+    const std::string bytes = to_json(sim.run(batch)).dump();
+    if (round == 0)
+      first = bytes;
+    else
+      EXPECT_EQ(first, bytes);
+  }
+}
+
+/// Run the real dsn-lint binary (path injected by CMake as DSN_LINT_PATH)
+/// with an environment prefix, capturing stdout.
+std::string run_lint_flow(const std::string& env_prefix, const std::string& args,
+                          int& exit_code) {
+  const std::string cmd =
+      env_prefix + " " + std::string(DSN_LINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) output.append(buf, got);
+  const int status = pclose(pipe);
+  exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+TEST(FlowDeterminism, LintFlowBytesInvariantUnderDsnThreads) {
+  const std::string args =
+      "flow --topology dsn --n 128 --workload shuffle --clients 16 --json";
+  int base_code = -1;
+  const std::string base = run_lint_flow("DSN_THREADS=1", args, base_code);
+  ASSERT_EQ(base_code, 0) << base;
+  for (const char* threads : {"4", "8"}) {
+    int code = -1;
+    const std::string out =
+        run_lint_flow(std::string("DSN_THREADS=") + threads, args, code);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_EQ(base, out) << "DSN_THREADS=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dsn::flow

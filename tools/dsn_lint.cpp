@@ -19,10 +19,14 @@
 //   dsn-lint drill ...    live fault drill on the flit simulator: down a
 //                         link/switch (or flap links) mid-run and verify the
 //                         network recovers with exact packet accounting
+//   dsn-lint flow ...     run a datacenter workload on the flow-level tier
+//                         (max-min fair-share over the analyzer's routes) and
+//                         verify convergence, the max-min invariant on every
+//                         solve, and that every flow completed
 //   dsn-lint stats ...    run an instrumented mini-workload through every
-//                         layer (generate / graph / analyze / drill) and
-//                         report the dsn::obs metrics registry as a table or
-//                         JSON; counters are checked monotone across stages
+//                         layer (generate / graph / analyze / drill / flow)
+//                         and report the dsn::obs metrics registry as a table
+//                         or JSON; counters are checked monotone across stages
 // Subcommands exit 0 when every checked property holds, 1 when a property is
 // refuted, and 2 on usage or internal errors.
 //
@@ -36,6 +40,8 @@
 //   dsn-lint load --topology dsn-e --n 512
 //   dsn-lint drill --topology dsn-e --n 48 --fail-link auto --heal-at 1500
 //   dsn-lint drill --topology dsn --n 64 --fail-switch 7 --ttl 4000 --json
+//   dsn-lint flow --topology dsn --n 256 --workload shuffle --json
+//   dsn-lint flow --topology random-regular --n 1024 --workload hdfs-write
 //   dsn-lint stats --n 96 --json
 //   dsn-lint stats --n 96 --trace stats-trace.json
 #include <algorithm>
@@ -54,6 +60,8 @@
 #include "dsn/common/math.hpp"
 #include "dsn/common/table.hpp"
 #include "dsn/common/thread_pool.hpp"
+#include "dsn/flow/flow_sim.hpp"
+#include "dsn/flow/workload.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/obs/obs.hpp"
 #include "dsn/routing/sim_routing.hpp"
@@ -447,6 +455,110 @@ int run_drill_command(int argc, const char* const* argv) {
 }
 
 // ---------------------------------------------------------------------------
+// Flow-tier subcommand
+// ---------------------------------------------------------------------------
+
+int run_flow_command(int argc, const char* const* argv) {
+  dsn::Cli cli(
+      "dsn-lint flow: run a datacenter workload on the flow-level simulation "
+      "tier and verify it (exit 0 = converged, max-min invariant held on "
+      "every solve and all flows completed; 1 = a property was refuted, 2 = "
+      "usage/internal error)");
+  cli.add_flag("topology", "dsn",
+               "factory name (dsn, dsn-d, dln, random-regular, torus, ...)");
+  cli.add_flag("n", "256", "switch count");
+  cli.add_flag("workload", "shuffle",
+               "hdfs-read, hdfs-write, shuffle, allreduce-ring, "
+               "allreduce-tree or rebuild");
+  cli.add_flag("clients", "16", "workload participants");
+  cli.add_flag("units", "8", "work units per participant (blocks, fetches, ...)");
+  cli.add_flag("unit-flits", "256", "flits per work unit");
+  cli.add_flag("window", "4", "concurrent flows per participant");
+  cli.add_flag("rack-hosts", "32", "hosts per rack for replica placement");
+  cli.add_flag("hosts-per-switch", "4", "hosts attached to each switch");
+  cli.add_flag("seed", "1", "seed for placement and the randomized generators");
+  cli.add_flag("min-epoch", "1",
+               "epoch floor in cycles (batches completions per solve; 1 = "
+               "exact event stepping)");
+  cli.add_flag("shards", "0", "solver shard count (0 = auto; result-invariant)");
+  cli.add_flag("no-verify", "false",
+               "skip the per-solve max-min invariant check (faster)");
+  cli.add_flag("json", "false", "emit a machine-readable JSON report");
+
+  if (!cli.parse(argc, argv)) return kExitClean;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
+  const dsn::Topology topo =
+      dsn::make_topology_by_name(cli.get("topology"), n, cli.get_uint("seed"));
+
+  dsn::flow::FlowConfig cfg;
+  cfg.hosts_per_switch = static_cast<std::uint32_t>(cli.get_uint("hosts-per-switch"));
+  cfg.min_epoch_cycles = cli.get_uint("min-epoch");
+  cfg.shards = static_cast<std::uint32_t>(cli.get_uint("shards"));
+  cfg.verify = !cli.get_bool("no-verify");
+  dsn::flow::FlowSimulator sim(topo, cfg);
+
+  dsn::flow::WorkloadParams params;
+  params.hosts = sim.num_hosts();
+  params.rack_hosts = static_cast<std::uint32_t>(cli.get_uint("rack-hosts"));
+  params.clients = static_cast<std::uint32_t>(cli.get_uint("clients"));
+  params.units = static_cast<std::uint32_t>(cli.get_uint("units"));
+  params.unit_flits = cli.get_uint("unit-flits");
+  params.window = static_cast<std::uint32_t>(cli.get_uint("window"));
+  params.seed = cli.get_uint("seed");
+  const std::unique_ptr<dsn::flow::WorkloadDriver> driver =
+      dsn::flow::make_workload(cli.get("workload"), params);
+
+  const dsn::flow::FlowResult res = sim.run(*driver);
+
+  std::vector<AnalysisViolation> violations;
+  if (!res.converged)
+    violations.push_back({"flow-not-converged",
+                          "a water-filling solve or the epoch loop hit its "
+                          "iteration ceiling, or a flow had rate zero"});
+  if (res.verify_violations > 0)
+    violations.push_back({"max-min-violated",
+                          std::to_string(res.verify_violations) +
+                              " invariant findings; first: " + res.verify_first});
+  if (res.flows_completed != res.flows)
+    violations.push_back({"flows-unfinished",
+                          std::to_string(res.flows - res.flows_completed) + " of " +
+                              std::to_string(res.flows) + " flows never completed"});
+
+  if (cli.get_bool("json")) {
+    dsn::Json doc = dsn::Json::object();
+    doc.set("command", "flow");
+    doc.set("result", dsn::flow::to_json(res));
+    dsn::Json vs = dsn::Json::array();
+    for (const AnalysisViolation& v : violations) {
+      dsn::Json jv = dsn::Json::object();
+      jv.set("kind", v.kind);
+      jv.set("message", v.message);
+      vs.push_back(std::move(jv));
+    }
+    doc.set("violations", std::move(vs));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    std::cout << "flow " << res.topology << " [routes=" << res.route_mode
+              << ", workload=" << res.workload << ", " << res.hosts << " hosts]\n"
+              << "  flows " << res.flows << " (completed " << res.flows_completed
+              << "), flits " << res.flits_total << "\n"
+              << "  epochs " << res.epochs << ", water-filling rounds max "
+              << res.max_waterfill_rounds << " total " << res.waterfill_rounds_total
+              << "\n"
+              << "  makespan " << res.makespan_cycles << " cycles, per-host "
+              << res.per_host_flits_per_cycle << " flits/cycle ("
+              << res.per_host_gbps << " Gb/s), avg fct " << res.avg_fct_cycles
+              << "\n";
+    for (const AnalysisViolation& v : violations)
+      std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
+    std::cout << "dsn-lint flow: " << (violations.empty() ? "PASS" : "FAIL") << " ("
+              << violations.size() << " violations)\n";
+  }
+  return violations.empty() ? kExitClean : kExitViolations;
+}
+
+// ---------------------------------------------------------------------------
 // Observability stats subcommand
 // ---------------------------------------------------------------------------
 
@@ -488,7 +600,7 @@ dsn::Json snapshot_to_json(const dsn::obs::Snapshot& snap) {
 int run_stats_command(int argc, const char* const* argv) {
   dsn::Cli cli(
       "dsn-lint stats: drive an instrumented mini-workload through every "
-      "layer (generate -> graph -> analyze -> drill) and report the dsn::obs "
+      "layer (generate -> graph -> analyze -> drill -> flow) and report the dsn::obs "
       "metrics registry (exit 0 = instrumentation present and consistent, 1 = "
       "a metric is missing or a counter regressed, 2 = usage/internal error)");
   cli.add_flag("n", "96", "node count of the workload topology");
@@ -509,8 +621,9 @@ int run_stats_command(int argc, const char* const* argv) {
   const std::string trace_path = cli.get("trace");
   if (!trace_path.empty()) dsn::obs::start_trace();
 
-  // Each stage exercises one layer's instrumentation; the cumulative
-  // snapshot after each stage is kept so counters can be proven monotone.
+  // Each stage exercises one layer's instrumentation (the flow tier last);
+  // the cumulative snapshot after each stage is kept so counters can be
+  // proven monotone.
   std::vector<std::pair<std::string, dsn::obs::Snapshot>> stages;
   auto& registry = dsn::obs::MetricsRegistry::global();
 
@@ -553,6 +666,24 @@ int run_stats_command(int argc, const char* const* argv) {
   }
   stages.emplace_back("drill", registry.snapshot());
 
+  // Flow stage: a small shuffle on the same node count exercises the
+  // flow-tier instrumentation (admissions, epochs, water-filling rounds).
+  {
+    dsn::flow::FlowConfig fcfg;
+    fcfg.verify = true;
+    dsn::flow::FlowSimulator fsim(d.topology(), fcfg);
+    dsn::flow::WorkloadParams params;
+    params.hosts = fsim.num_hosts();
+    params.clients = 8;
+    params.units = 4;
+    params.unit_flits = 64;
+    params.seed = cli.get_uint("seed");
+    const std::unique_ptr<dsn::flow::WorkloadDriver> driver =
+        dsn::flow::make_workload("shuffle", params);
+    (void)fsim.run(*driver);
+  }
+  stages.emplace_back("flow", registry.snapshot());
+
   if (!trace_path.empty()) dsn::obs::stop_trace(trace_path);
   const dsn::obs::Snapshot& final_snap = stages.back().second;
 
@@ -564,7 +695,9 @@ int run_stats_command(int argc, const char* const* argv) {
        {"dsn.topology.generated", "dsn.topology.shortcuts",
         "dsn.graph.msbfs_batches", "dsn.analysis.routes_checked",
         "dsn.pool.tasks_executed", "dsn.sim.hops", "dsn.sim.hops.main",
-        "dsn.sim.packet_latency_cycles"}) {
+        "dsn.sim.packet_latency_cycles", "dsn.flow.flows",
+        "dsn.flow.flows_completed", "dsn.flow.epochs",
+        "dsn.flow.waterfill_rounds", "dsn.flow.fct_cycles"}) {
     if (final_snap.find(required) == nullptr) {
       violations.push_back({"metric-missing",
                             std::string("expected metric '") + required +
@@ -655,6 +788,14 @@ int main(int argc, char** argv) {
         return run_drill_command(argc - 1, argv + 1);
       } catch (const std::exception& e) {
         std::cerr << "dsn-lint drill: " << e.what() << "\n";
+        return kExitUsage;
+      }
+    }
+    if (cmd == "flow") {
+      try {
+        return run_flow_command(argc - 1, argv + 1);
+      } catch (const std::exception& e) {
+        std::cerr << "dsn-lint flow: " << e.what() << "\n";
         return kExitUsage;
       }
     }
