@@ -20,9 +20,9 @@ Validates a micro_flow JSON report. Two modes:
 
 Exits 1 listing every failed check — never just the first.
 """
-import argparse
-import json
 import sys
+
+from bench_gate import BenchGate
 
 TOP_KEYS = {"bench", "unit", "clients", "shuffle_clients", "units",
             "unit_flits", "window", "min_epoch_cycles", "results"}
@@ -34,99 +34,50 @@ ROW_KEYS = {"topology", "n", "hosts", "workload", "flows", "flits", "epochs",
 SCALE_HOSTS = 1_000_000
 ROUNDS_CEILING = 4096
 
-errors = []
-
-
-def fail(msg):
-    errors.append(msg)
-
 
 def row_name(row):
     return (f"(topology={row.get('topology')}, n={row.get('n')}, "
             f"workload={row.get('workload')})")
 
 
-def check_shape(path, report):
-    if set(report) != TOP_KEYS:
-        fail(f"{path}: top-level keys {sorted(report)} != {sorted(TOP_KEYS)}")
-        return []
-    if report["bench"] != "micro_flow":
-        fail(f"{path}: bench {report['bench']!r} != 'micro_flow'")
-    if report["unit"] != "flows_per_sec":
-        fail(f"{path}: unit {report['unit']!r} != 'flows_per_sec'")
-    rows = report["results"]
-    if not rows:
-        fail(f"{path}: empty results array")
-        return []
-    for row in rows:
-        missing = sorted(ROW_KEYS - set(row))
-        if missing:
-            fail(f"{path}: row {row_name(row)} missing keys {missing}")
-            continue
-        if row["flows"] <= 0 or row["flits"] <= 0 or row["flows_per_sec"] <= 0:
-            fail(f"{path}: row {row_name(row)} has non-positive volume")
-        if row["converged"] is not True:
-            fail(f"{path}: row {row_name(row)} did not converge")
-        if row["waterfill_rounds_max"] > ROUNDS_CEILING:
-            fail(f"{path}: row {row_name(row)} needed "
-                 f"{row['waterfill_rounds_max']} water-filling rounds in one "
-                 f"solve; ceiling is {ROUNDS_CEILING}")
-        # 'check' is the per-solve max-min invariant verification (rows up to
-        # --verify-max-n). Any value but "ok" is a correctness failure.
-        if "check" in row and row["check"] != "ok":
-            fail(f"{path}: row {row_name(row)} check={row['check']!r}")
-    return rows
+def check_row(gate, path, row):
+    if row["flows"] <= 0 or row["flits"] <= 0 or row["flows_per_sec"] <= 0:
+        gate.fail(f"{path}: row {row_name(row)} has non-positive volume")
+    if row["converged"] is not True:
+        gate.fail(f"{path}: row {row_name(row)} did not converge")
+    if row["waterfill_rounds_max"] > ROUNDS_CEILING:
+        gate.fail(f"{path}: row {row_name(row)} needed "
+                  f"{row['waterfill_rounds_max']} water-filling rounds in one "
+                  f"solve; ceiling is {ROUNDS_CEILING}")
+    # The 'check' field (gated by bench_gate) is the per-solve max-min
+    # invariant verification on rows up to --verify-max-n.
 
 
-def check_committed(path, rows):
+def check_committed(gate, path, rows):
     topologies = {row["topology"] for row in rows}
     ns = {row["n"] for row in rows}
     workloads = {row["workload"] for row in rows}
     if len(topologies) < 2:
-        fail(f"{path}: sweep covers a single topology {sorted(topologies)}; "
-             "need >= 2 families")
+        gate.fail(f"{path}: sweep covers a single topology "
+                  f"{sorted(topologies)}; need >= 2 families")
     if len(ns) < 2:
-        fail(f"{path}: sweep covers a single size {sorted(ns)}; need >= 2")
+        gate.fail(f"{path}: sweep covers a single size {sorted(ns)}; need >= 2")
     if len(workloads) < 2:
-        fail(f"{path}: sweep covers a single workload {sorted(workloads)}; "
-             "need >= 2")
+        gate.fail(f"{path}: sweep covers a single workload "
+                  f"{sorted(workloads)}; need >= 2")
     if not any(row["hosts"] >= SCALE_HOSTS for row in rows):
-        fail(f"{path}: no hosts >= {SCALE_HOSTS} row — the million-host "
-             "scale target is gone")
+        gate.fail(f"{path}: no hosts >= {SCALE_HOSTS} row — the million-host "
+                  "scale target is gone")
     if not any(row.get("check") == "ok" for row in rows):
-        fail(f"{path}: no row carries a passing max-min invariant check")
+        gate.fail(f"{path}: no row carries a passing max-min invariant check")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="micro_flow JSON report to validate")
-    parser.add_argument("--smoke", action="store_true",
-                        help="fresh CI run: gate shape + convergence + "
-                             "invariant checks only, no sweep-extent gates")
-    args = parser.parse_args()
-
-    try:
-        with open(args.report) as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"flow-bench-gate: FAIL {args.report}: cannot load JSON: {e}",
-              file=sys.stderr)
-        return 1
-
-    rows = check_shape(args.report, report)
-    if rows and not args.smoke:
-        check_committed(args.report, rows)
-
-    if errors:
-        print(f"flow-bench-gate: {len(errors)} check(s) failed",
-              file=sys.stderr)
-        for e in errors:
-            print(f"  FAIL {e}", file=sys.stderr)
-        return 1
-    mode = "smoke" if args.smoke else "committed"
-    print(f"flow-bench-gate: all checks passed ({mode}, {len(rows)} rows)")
-    return 0
-
+GATE = BenchGate(name="flow", bench="micro_flow", unit="flows_per_sec",
+                 top_keys=TOP_KEYS, row_keys=ROW_KEYS, row_name=row_name,
+                 check_row=check_row, check_committed=check_committed,
+                 doc=__doc__,
+                 smoke_help="fresh CI run: gate shape + convergence + "
+                            "invariant checks only, no sweep-extent gates")
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(GATE.run())

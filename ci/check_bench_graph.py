@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI gate for the committed graph-kernel benchmark (BENCH_graph.json).
+
+Validates a micro_msbfs JSON report. Two modes:
+
+  * committed (default): the report is the repository-root BENCH_graph.json —
+    the MS-BFS speedup trajectory over the legacy per-source sweep. Beyond
+    the shape, this asserts the structural claims: the sweep covers the dsn,
+    dln AND ring families (ring is the regression canary — a long-diameter
+    graph where the 64-lane frontier has the least slack, so a bit-parallel
+    regression shows there first), ring runs at >= 3 sizes up to at least
+    n = 16384, every row's exactness check passed, ring never falls below
+    parity with the legacy sweep, and the small-world families keep a >= 5x
+    speedup somewhere in the sweep.
+  * --smoke: the report came from a fresh small-n CI run used as a
+    correctness + JSON-shape smoke; only the shape and exactness checks are
+    gated — never timings or sweep extents, which depend on the runner.
+
+Exits 1 listing every failed check — never just the first.
+"""
+import sys
+
+from bench_gate import BenchGate
+
+TOP_KEYS = {"bench", "unit", "batch", "threads", "results"}
+ROW_KEYS = {"topology", "family", "n", "links", "aspl", "diameter",
+            "csr_build_ms", "path_stats_ms", "legacy_path_stats_ms",
+            "eccentricities_ms", "speedup"}
+
+REQUIRED_FAMILIES = {"dsn", "dln", "ring"}
+RING_MIN_SIZES = 3
+RING_SCALE_N = 16384
+RING_SPEEDUP_FLOOR = 1.0
+SMALL_WORLD_SPEEDUP_FLOOR = 5.0
+
+
+def row_name(row):
+    return f"(topology={row.get('topology')}, n={row.get('n')})"
+
+
+def check_row(gate, path, row):
+    if row["path_stats_ms"] <= 0 or row["speedup"] <= 0:
+        gate.fail(f"{path}: row {row_name(row)} has non-positive timing")
+
+
+def check_committed(gate, path, rows):
+    families = {row["family"] for row in rows}
+    missing = sorted(REQUIRED_FAMILIES - families)
+    if missing:
+        gate.fail(f"{path}: families {sorted(families)} missing {missing}")
+
+    ring = [row for row in rows if row["family"] == "ring"]
+    ring_ns = {row["n"] for row in ring}
+    if len(ring_ns) < RING_MIN_SIZES:
+        gate.fail(f"{path}: ring runs at {len(ring_ns)} size(s) "
+                  f"{sorted(ring_ns)}; the regression canary needs >= "
+                  f"{RING_MIN_SIZES}")
+    if ring and max(ring_ns) < RING_SCALE_N:
+        gate.fail(f"{path}: largest ring size {max(ring_ns)} < "
+                  f"{RING_SCALE_N}")
+    for row in ring:
+        if row["speedup"] < RING_SPEEDUP_FLOOR:
+            gate.fail(f"{path}: ring row {row_name(row)} speedup "
+                      f"{row['speedup']:.2f}x fell below parity "
+                      f"({RING_SPEEDUP_FLOOR:.0f}x) with the legacy sweep")
+
+    for family in sorted(REQUIRED_FAMILIES - {"ring"}):
+        fam = [row for row in rows if row["family"] == family]
+        if fam and max(row["speedup"] for row in fam) < SMALL_WORLD_SPEEDUP_FLOOR:
+            best = max(fam, key=lambda row: row["speedup"])
+            gate.fail(f"{path}: best {family} speedup is "
+                      f"{best['speedup']:.2f}x {row_name(best)}; the 64-lane "
+                      f"sweep promises >= {SMALL_WORLD_SPEEDUP_FLOOR:.0f}x on "
+                      "small-world graphs")
+
+
+GATE = BenchGate(name="graph", bench="micro_msbfs", unit="ms",
+                 top_keys=TOP_KEYS, row_keys=ROW_KEYS, row_name=row_name,
+                 check_row=check_row, check_committed=check_committed,
+                 doc=__doc__,
+                 smoke_help="fresh CI run: gate shape + exactness checks "
+                            "only, no timing or sweep-extent gates")
+
+if __name__ == "__main__":
+    sys.exit(GATE.run())

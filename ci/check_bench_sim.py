@@ -18,9 +18,9 @@ Validates a micro_sim JSON report. Two modes:
 
 Exits 1 listing every failed check — never just the first.
 """
-import argparse
-import json
 import sys
+
+from bench_gate import BenchGate
 
 TOP_KEYS = {"bench", "unit", "pattern", "warmup_cycles", "measure_cycles",
             "drain_cycles", "results"}
@@ -32,67 +32,42 @@ SPEEDUP_FLOOR = 10.0
 SCALE_N = 65536
 SPEEDUP_N = 16384
 
-errors = []
-
-
-def fail(msg):
-    errors.append(msg)
-
 
 def row_name(row):
     return (f"(n={row.get('n')}, load={row.get('load_gbps_per_host')}, "
             f"threads={row.get('sim_threads')})")
 
 
-def check_shape(path, report):
-    if set(report) != TOP_KEYS:
-        fail(f"{path}: top-level keys {sorted(report)} != {sorted(TOP_KEYS)}")
-        return []
-    if report["bench"] != "micro_sim":
-        fail(f"{path}: bench {report['bench']!r} != 'micro_sim'")
-    if report["unit"] != "cycles_per_sec":
-        fail(f"{path}: unit {report['unit']!r} != 'cycles_per_sec'")
-    rows = report["results"]
-    if not rows:
-        fail(f"{path}: empty results array")
-        return []
-    for row in rows:
-        missing = sorted(ROW_KEYS - set(row))
-        if missing:
-            fail(f"{path}: row {row_name(row)} missing keys {missing}")
-            continue
-        if row["cycles"] <= 0 or row["cycles_per_sec"] <= 0:
-            fail(f"{path}: row {row_name(row)} has non-positive throughput")
-        # Legacy comparison fields travel as a unit; a partial set means the
-        # bench row logic drifted.
-        present = LEGACY_KEYS & set(row)
-        if present and present != LEGACY_KEYS:
-            fail(f"{path}: row {row_name(row)} has only {sorted(present)} of "
-                 f"the legacy-comparison keys {sorted(LEGACY_KEYS)}")
-        # 'check' rides with the legacy comparison: the byte-identical
-        # SimResult replay. Any value but "ok" is a correctness failure.
-        if "check" in row and row["check"] != "ok":
-            fail(f"{path}: row {row_name(row)} check={row['check']!r}")
-    return rows
+def check_row(gate, path, row):
+    if row["cycles"] <= 0 or row["cycles_per_sec"] <= 0:
+        gate.fail(f"{path}: row {row_name(row)} has non-positive throughput")
+    # Legacy comparison fields travel as a unit; a partial set means the
+    # bench row logic drifted. The 'check' field (gated by bench_gate) rides
+    # with them: the byte-identical SimResult replay.
+    present = LEGACY_KEYS & set(row)
+    if present and present != LEGACY_KEYS:
+        gate.fail(f"{path}: row {row_name(row)} has only {sorted(present)} of "
+                  f"the legacy-comparison keys {sorted(LEGACY_KEYS)}")
 
 
-def check_committed(path, rows):
+def check_committed(gate, path, rows):
     ns = {row["n"] for row in rows}
     loads = {row["load_gbps_per_host"] for row in rows}
     threads = {row["sim_threads"] for row in rows}
     if len(ns) < 2:
-        fail(f"{path}: sweep covers a single size {sorted(ns)}; need >= 2")
+        gate.fail(f"{path}: sweep covers a single size {sorted(ns)}; need >= 2")
     if len(loads) < 2:
-        fail(f"{path}: sweep covers a single load {sorted(loads)}; need >= 2")
+        gate.fail(f"{path}: sweep covers a single load {sorted(loads)}; "
+                  "need >= 2")
     if len(threads) < 2:
-        fail(f"{path}: sweep covers a single shard count {sorted(threads)}; "
-             "need >= 2")
+        gate.fail(f"{path}: sweep covers a single shard count "
+                  f"{sorted(threads)}; need >= 2")
     if not any(row["n"] >= SCALE_N for row in rows):
-        fail(f"{path}: no n >= {SCALE_N} row — the scale target is gone")
+        gate.fail(f"{path}: no n >= {SCALE_N} row — the scale target is gone")
 
     checked = [row for row in rows if "check" in row]
     if not checked:
-        fail(f"{path}: no row carries a legacy byte-equivalence check")
+        gate.fail(f"{path}: no row carries a legacy byte-equivalence check")
 
     low_load = min(loads)
     headline = [row for row in rows
@@ -100,44 +75,21 @@ def check_committed(path, rows):
                 and row["load_gbps_per_host"] == low_load
                 and "speedup" in row]
     if not headline:
-        fail(f"{path}: no n >= {SPEEDUP_N} row at the lowest load ({low_load}) "
-             "compares against the legacy core")
+        gate.fail(f"{path}: no n >= {SPEEDUP_N} row at the lowest load "
+                  f"({low_load}) compares against the legacy core")
     elif max(row["speedup"] for row in headline) < SPEEDUP_FLOOR:
         best = max(headline, key=lambda row: row["speedup"])
-        fail(f"{path}: best low-load speedup at n >= {SPEEDUP_N} is "
-             f"{best['speedup']:.2f}x {row_name(best)}; the active core "
-             f"promises >= {SPEEDUP_FLOOR:.0f}x")
+        gate.fail(f"{path}: best low-load speedup at n >= {SPEEDUP_N} is "
+                  f"{best['speedup']:.2f}x {row_name(best)}; the active core "
+                  f"promises >= {SPEEDUP_FLOOR:.0f}x")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="micro_sim JSON report to validate")
-    parser.add_argument("--smoke", action="store_true",
-                        help="fresh CI run: gate shape + equivalence checks "
-                             "only, no timing or sweep-extent gates")
-    args = parser.parse_args()
-
-    try:
-        with open(args.report) as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"sim-bench-gate: FAIL {args.report}: cannot load JSON: {e}",
-              file=sys.stderr)
-        return 1
-
-    rows = check_shape(args.report, report)
-    if rows and not args.smoke:
-        check_committed(args.report, rows)
-
-    if errors:
-        print(f"sim-bench-gate: {len(errors)} check(s) failed", file=sys.stderr)
-        for e in errors:
-            print(f"  FAIL {e}", file=sys.stderr)
-        return 1
-    mode = "smoke" if args.smoke else "committed"
-    print(f"sim-bench-gate: all checks passed ({mode}, {len(rows)} rows)")
-    return 0
-
+GATE = BenchGate(name="sim", bench="micro_sim", unit="cycles_per_sec",
+                 top_keys=TOP_KEYS, row_keys=ROW_KEYS, row_name=row_name,
+                 check_row=check_row, check_committed=check_committed,
+                 doc=__doc__,
+                 smoke_help="fresh CI run: gate shape + equivalence checks "
+                            "only, no timing or sweep-extent gates")
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(GATE.run())

@@ -103,6 +103,7 @@ LAYER_DEPS = {
     "layout": {"topology"},
     "routing": {"topology"},
     "sim": {"routing"},
+    "opt": {"layout"},
     "analysis": {"sim", "layout"},
     "flow": {"analysis"},
     "check": {"analysis"},

@@ -20,6 +20,33 @@ CsrView::CsrView(const Graph& g) : num_nodes_(g.num_nodes()), num_arcs_(2 * g.nu
   DSN_ASSERT(at == num_arcs_, "adjacency halves must cover every arc");
 }
 
+CsrView::CsrView(NodeId num_nodes, std::span<const std::pair<NodeId, NodeId>> links)
+    : num_nodes_(num_nodes), num_arcs_(2 * links.size()) {
+  offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  buf_.resize(2 * num_arcs_);
+  // Pass 1: degrees into offsets_[u + 1], then prefix-sum.
+  for (const auto& [u, v] : links) {
+    DSN_REQUIRE(u < num_nodes_ && v < num_nodes_, "link endpoint out of range");
+    DSN_REQUIRE(u != v, "self loops are not allowed");
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) offsets_[u + 1] += offsets_[u];
+  // Pass 2: fill in link-id order so each node's adjacency matches the
+  // insertion order a Graph would have produced.
+  std::vector<std::size_t> at(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t id = 0; id < links.size(); ++id) {
+    const auto [u, v] = links[id];
+    buf_[at[u]] = v;
+    buf_[num_arcs_ + at[u]] = static_cast<std::uint32_t>(id);
+    ++at[u];
+    buf_[at[v]] = u;
+    buf_[num_arcs_ + at[v]] = static_cast<std::uint32_t>(id);
+    ++at[v];
+  }
+  DSN_ASSERT(offsets_[num_nodes_] == num_arcs_, "edge list must cover every arc");
+}
+
 void CsrView::build_sorted_neighbors() {
   if (!sorted_offsets_.empty()) return;  // already built
   sorted_offsets_.resize(static_cast<std::size_t>(num_nodes_) + 1);

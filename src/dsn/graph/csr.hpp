@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "dsn/common/error.hpp"
@@ -23,6 +24,13 @@ class CsrView {
  public:
   CsrView() = default;
   explicit CsrView(const Graph& g);
+
+  /// Build directly from an undirected edge list: link ids are the list
+  /// indices, and each node's neighbors appear in ascending link id — exactly
+  /// the adjacency a Graph built by add_link() in list order would produce.
+  /// Used by the shortcut-set optimizer to snapshot mutated placements
+  /// without paying Graph's per-node adjacency allocations.
+  CsrView(NodeId num_nodes, std::span<const std::pair<NodeId, NodeId>> links);
 
   NodeId num_nodes() const { return num_nodes_; }
   /// Directed arc count: two per undirected link.

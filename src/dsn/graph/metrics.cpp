@@ -87,9 +87,9 @@ struct BatchPlan {
   std::size_t shards = 0;
 };
 
-BatchPlan plan_batches(NodeId n, std::size_t workers) {
+BatchPlan plan_batches(std::size_t num_sources, std::size_t workers) {
   BatchPlan p;
-  p.batches = (static_cast<std::size_t>(n) + kMsBfsBatch - 1) / kMsBfsBatch;
+  p.batches = (num_sources + kMsBfsBatch - 1) / kMsBfsBatch;
   p.shards = std::max<std::size_t>(1, std::min(p.batches, 4 * workers));
   return p;
 }
@@ -110,12 +110,19 @@ PathStats compute_path_stats(const Graph& g) {
 }
 
 PathStats compute_path_stats(const CsrView& csr) {
+  const NodeId n = csr.num_nodes();
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  return compute_path_stats(csr, sources);
+}
+
+PathStats compute_path_stats(const CsrView& csr, std::span<const NodeId> sources) {
   PathStats stats;
   const NodeId n = csr.num_nodes();
-  if (n == 0) return stats;
+  if (n == 0 || sources.empty()) return stats;
 
   ThreadPool& pool = ThreadPool::global();
-  const BatchPlan plan = plan_batches(n, pool.size());
+  const BatchPlan plan = plan_batches(sources.size(), pool.size());
   // Per-shard hop histograms; every other statistic folds out of them.
   std::vector<std::vector<std::uint64_t>> hists(plan.shards);
 
@@ -123,17 +130,15 @@ PathStats compute_path_stats(const CsrView& csr) {
   pool.parallel_for(0, plan.shards, [&](std::size_t k) {
     DSN_OBS_TIMER(GraphMetrics::get().shard_ns, GraphMetrics::get().shards_run);
     MsBfsScratch scratch;
-    std::vector<NodeId> sources;
     std::vector<std::uint64_t>& hist = hists[k];
     const std::size_t begin = k * plan.batches / plan.shards;
     const std::size_t end = (k + 1) * plan.batches / plan.shards;
     DSN_OBS_ADD(GraphMetrics::get().batches,
                 static_cast<std::uint64_t>(end - begin));
     for (std::size_t b = begin; b < end; ++b) {
-      const auto [lo, hi] = batch_span(b, n);
-      sources.resize(hi - lo);
-      std::iota(sources.begin(), sources.end(), lo);
-      msbfs_sweep(csr, sources, scratch,
+      const std::size_t lo = b * kMsBfsBatch;
+      const std::size_t hi = std::min(sources.size(), lo + kMsBfsBatch);
+      msbfs_sweep(csr, sources.subspan(lo, hi - lo), scratch,
                   [&hist](NodeId, std::uint32_t level, std::uint64_t fresh) {
                     if (level >= hist.size()) hist.resize(level + 1, 0);
                     hist[level] += static_cast<std::uint64_t>(std::popcount(fresh));
@@ -153,7 +158,8 @@ PathStats compute_path_stats(const CsrView& csr) {
     total_hops += static_cast<__uint128_t>(h) * hist[h];
   }
   stats.connected =
-      n <= 1 || reachable_pairs == static_cast<std::uint64_t>(n) * (n - 1);
+      n <= 1 ||
+      reachable_pairs == static_cast<std::uint64_t>(sources.size()) * (n - 1);
   stats.diameter = hist.empty() ? 0 : static_cast<std::uint32_t>(hist.size() - 1);
   stats.avg_shortest_path =
       reachable_pairs == 0 ? 0.0

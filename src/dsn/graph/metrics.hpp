@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsn/graph/csr.hpp"
@@ -39,6 +40,15 @@ struct PathStats {
 /// sweep, parallelized over sweeps with per-shard accumulators.
 PathStats compute_path_stats(const Graph& g);
 PathStats compute_path_stats(const CsrView& csr);
+
+/// Sampled-source variant: the same sharded MS-BFS sweep restricted to an
+/// explicit source set (any subset of [0, n), each source in [1, n] times).
+/// Statistics cover ordered pairs (s, t) with s drawn from `sources` and
+/// t != s; `connected` means every sampled source reached every other node.
+/// With sources = [0, n) this is exactly the full all-pairs sweep (the full
+/// overloads above delegate here). Deterministic for any thread count: shard
+/// results are integer histograms merged in shard order.
+PathStats compute_path_stats(const CsrView& csr, std::span<const NodeId> sources);
 
 /// Eccentricity (max BFS distance) of every node; kUnreachable if the node
 /// cannot reach some other node.

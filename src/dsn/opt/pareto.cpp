@@ -1,0 +1,47 @@
+// dsn-slint: deterministic
+#include "dsn/opt/pareto.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dsn::opt {
+
+namespace {
+
+bool dominates_or_equals(const OptPoint& a, const OptPoint& b) {
+  return a.cable_m <= b.cable_m && a.aspl <= b.aspl &&
+         a.max_normalized_load <= b.max_normalized_load;
+}
+
+}  // namespace
+
+bool dominates(const OptPoint& a, const OptPoint& b) {
+  return dominates_or_equals(a, b) &&
+         (a.cable_m < b.cable_m || a.aspl < b.aspl ||
+          a.max_normalized_load < b.max_normalized_load);
+}
+
+bool ParetoArchive::insert(const OptPoint& p) {
+  for (const OptPoint& q : points_) {
+    if (dominates_or_equals(q, p)) return false;
+  }
+  std::erase_if(points_, [&p](const OptPoint& q) { return dominates(p, q); });
+  points_.push_back(p);
+  return true;
+}
+
+std::vector<OptPoint> ParetoArchive::front_2d() const {
+  std::vector<OptPoint> sorted = points_;
+  std::sort(sorted.begin(), sorted.end(), [](const OptPoint& a, const OptPoint& b) {
+    return std::tie(a.cable_m, a.aspl, a.max_normalized_load, a.pass, a.iteration) <
+           std::tie(b.cable_m, b.aspl, b.max_normalized_load, b.pass, b.iteration);
+  });
+  std::vector<OptPoint> front;
+  for (const OptPoint& p : sorted) {
+    if (!front.empty() && p.aspl >= front.back().aspl) continue;
+    front.push_back(p);
+  }
+  return front;
+}
+
+}  // namespace dsn::opt

@@ -1,0 +1,50 @@
+// dsn-slint: deterministic — the front is committed to BENCH_opt.json and
+// byte-compared across thread counts; archive order must depend only on the
+// insertion sequence.
+//
+// Pareto archive over shortcut placements. Three minimized objectives:
+// total cable length (m), sampled ASPL, and the max normalized tree load
+// (1 / throughput bound). The archive keeps every non-dominated point seen;
+// front_2d() projects it onto the cable-vs-ASPL staircase the CI gate checks
+// for monotonicity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsn::opt {
+
+struct OptPoint {
+  double cable_m = 0.0;
+  double aspl = 0.0;
+  double max_normalized_load = 0.0;
+  double throughput_bound = 0.0;
+  std::uint32_t pass = 0;       ///< annealing pass that produced the point
+  std::uint32_t iteration = 0;  ///< iteration within the pass (0 = seed)
+};
+
+/// True when `a` is no worse than `b` in all three objectives and strictly
+/// better in at least one.
+bool dominates(const OptPoint& a, const OptPoint& b);
+
+class ParetoArchive {
+ public:
+  /// Insert a candidate. Returns false (archive unchanged) when an existing
+  /// point dominates or exactly equals it; otherwise removes every point the
+  /// candidate dominates and appends it.
+  bool insert(const OptPoint& p);
+
+  const std::vector<OptPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+  /// Cable-vs-ASPL staircase: points sorted by ascending cable, filtered so
+  /// ASPL strictly decreases — i.e. strictly ascending cable buys strictly
+  /// descending ASPL. Ties break on (load, pass, iteration) so the output is
+  /// a pure function of the archive contents.
+  std::vector<OptPoint> front_2d() const;
+
+ private:
+  std::vector<OptPoint> points_;
+};
+
+}  // namespace dsn::opt

@@ -1,0 +1,129 @@
+// dsn-slint: deterministic
+#include "dsn/topology/shortcut_set.hpp"
+
+#include <algorithm>
+
+#include "dsn/common/error.hpp"
+#include "dsn/graph/metrics.hpp"
+
+namespace dsn {
+
+namespace {
+
+std::pair<NodeId, NodeId> normalized(NodeId u, NodeId v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+}  // namespace
+
+MutableShortcutSet::MutableShortcutSet(const Topology& topo)
+    : n_(topo.graph.num_nodes()) {
+  const std::size_t m = topo.graph.num_links();
+  DSN_REQUIRE(topo.link_roles.size() == m, "link_roles must cover every link");
+  adj_.assign(n_, {});
+  for (LinkId l = 0; l < m; ++l) {
+    const auto [u, v] = topo.graph.link_endpoints(l);
+    if (topo.link_roles[l] == LinkRole::kShortcut) {
+      shortcuts_.emplace_back(u, v);
+    } else {
+      fixed_.emplace_back(u, v);
+    }
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+  }
+  for (std::vector<NodeId>& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+  DSN_REQUIRE(shortcuts_.size() >= 2,
+              "shortcut optimization needs at least two shortcut links");
+  // The fixed subgraph is never mutated, so checking its connectivity once
+  // here makes "swaps cannot disconnect the fixed skeleton" an invariant.
+  // (Candidate placements can still lengthen paths; the optimizer guards
+  // against sampled-unreachable candidates via the estimator.)
+  const CsrView fixed_csr(n_, fixed_);
+  DSN_REQUIRE(is_connected(fixed_csr),
+              "fixed (non-shortcut) subgraph must be connected");
+}
+
+std::uint32_t MutableShortcutSet::edge_count(NodeId u, NodeId v) const {
+  const std::vector<NodeId>& nbrs = adj_[u];
+  const auto [lo, hi] = std::equal_range(nbrs.begin(), nbrs.end(), v);
+  return static_cast<std::uint32_t>(hi - lo);
+}
+
+void MutableShortcutSet::adj_remove(NodeId u, NodeId v) {
+  std::vector<NodeId>& nbrs = adj_[u];
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  DSN_ASSERT(it != nbrs.end() && *it == v, "adjacency entry missing");
+  nbrs.erase(it);
+}
+
+void MutableShortcutSet::adj_insert(NodeId u, NodeId v) {
+  std::vector<NodeId>& nbrs = adj_[u];
+  nbrs.insert(std::upper_bound(nbrs.begin(), nbrs.end(), v), v);
+}
+
+bool MutableShortcutSet::try_swap(std::size_t i, std::size_t j, bool cross) {
+  DSN_REQUIRE(i < shortcuts_.size() && j < shortcuts_.size(), "slot out of range");
+  DSN_REQUIRE(i != j, "swap needs two distinct slots");
+  const auto [a, b] = shortcuts_[i];
+  const auto [c, d] = shortcuts_[j];
+  const std::pair<NodeId, NodeId> e1 = cross ? std::pair{a, d} : std::pair{a, c};
+  const std::pair<NodeId, NodeId> e2 = cross ? std::pair{b, c} : std::pair{b, d};
+  if (e1.first == e1.second || e2.first == e2.second) return false;  // self loop
+
+  const auto r1 = normalized(a, b);
+  const auto r2 = normalized(c, d);
+  const auto n1 = normalized(e1.first, e1.second);
+  const auto n2 = normalized(e2.first, e2.second);
+  // No-op: the new pair set equals the removed pair set.
+  if ((n1 == r1 && n2 == r2) || (n1 == r2 && n2 == r1)) return false;
+  // Duplicate check against the multiset of all links minus the two removed
+  // pairs (and counting e1 when testing e2).
+  const auto count_after_removal = [&](const std::pair<NodeId, NodeId>& e) {
+    std::uint32_t cnt = edge_count(e.first, e.second);
+    if (e == r1) --cnt;
+    if (e == r2) --cnt;
+    return cnt;
+  };
+  if (count_after_removal(n1) > 0) return false;
+  if (count_after_removal(n2) + (n2 == n1 ? 1 : 0) > 0) return false;
+
+  adj_remove(a, b);
+  adj_remove(b, a);
+  adj_remove(c, d);
+  adj_remove(d, c);
+  adj_insert(e1.first, e1.second);
+  adj_insert(e1.second, e1.first);
+  adj_insert(e2.first, e2.second);
+  adj_insert(e2.second, e2.first);
+  last_ = SwapRecord{i, j, shortcuts_[i], shortcuts_[j], true};
+  shortcuts_[i] = e1;
+  shortcuts_[j] = e2;
+  return true;
+}
+
+void MutableShortcutSet::undo_last() {
+  DSN_REQUIRE(last_.valid, "no swap to undo");
+  const auto [ni_f, ni_s] = shortcuts_[last_.i];
+  const auto [nj_f, nj_s] = shortcuts_[last_.j];
+  adj_remove(ni_f, ni_s);
+  adj_remove(ni_s, ni_f);
+  adj_remove(nj_f, nj_s);
+  adj_remove(nj_s, nj_f);
+  adj_insert(last_.old_i.first, last_.old_i.second);
+  adj_insert(last_.old_i.second, last_.old_i.first);
+  adj_insert(last_.old_j.first, last_.old_j.second);
+  adj_insert(last_.old_j.second, last_.old_j.first);
+  shortcuts_[last_.i] = last_.old_i;
+  shortcuts_[last_.j] = last_.old_j;
+  last_.valid = false;
+}
+
+CsrView MutableShortcutSet::snapshot() const {
+  edge_buf_.clear();
+  edge_buf_.reserve(fixed_.size() + shortcuts_.size());
+  edge_buf_.insert(edge_buf_.end(), fixed_.begin(), fixed_.end());
+  edge_buf_.insert(edge_buf_.end(), shortcuts_.begin(), shortcuts_.end());
+  return CsrView(n_, edge_buf_);
+}
+
+}  // namespace dsn

@@ -1,0 +1,255 @@
+// Correctness gates for the sampled incremental path/load estimator
+// (dsn/graph/estimator) and determinism gates for the shortcut-placement
+// optimizer built on it (dsn/opt). The estimator's contract is exactness:
+// in exact mode (sample = every source) it must equal the whole-graph
+// sweep bit-for-bit, and after any sequence of incremental swap
+// evaluations its committed state must be byte-identical to a fresh
+// rebuild — including when the affected-source classifier took the
+// single-source re-sweep path rather than the full-sweep drift fallback.
+// The OptDeterminism suite is registered under `ctest -L determinism` via
+// the determinism.opt entry.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/load_bound.hpp"
+#include "dsn/common/rng.hpp"
+#include "dsn/graph/csr.hpp"
+#include "dsn/graph/estimator.hpp"
+#include "dsn/graph/metrics.hpp"
+#include "dsn/opt/optimizer.hpp"
+#include "dsn/topology/generators.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(OptEstimator, ExactModeMatchesWholeGraphSweep) {
+  // n <= 1024 with auto sampling puts every source in the sample, so the
+  // estimate IS the exact sweep: same integer hop sums, same division.
+  const std::vector<std::string> names = {"dsn", "dln", "random-regular"};
+  std::vector<Topology> topos;
+  for (const std::string& name : names) topos.push_back(make_topology_by_name(name, 256, 3));
+  topos.push_back(make_watts_strogatz(256, 4, 0.3, 5));
+  for (const Topology& topo : topos) {
+    const CsrView csr(topo.graph);
+    const SampledPathEstimator est(csr, EstimatorConfig{});
+    ASSERT_EQ(est.sources().size(), topo.graph.num_nodes()) << topo.name;
+
+    const PathStats exact = compute_path_stats(csr);
+    EXPECT_EQ(est.current().aspl, exact.avg_shortest_path) << topo.name;
+
+    const analyze::TreeLoadBound bound = analyze::compute_tree_load_bound(csr);
+    EXPECT_EQ(est.current().max_link_load, bound.max_load) << topo.name;
+    EXPECT_EQ(est.current().max_normalized_load, bound.max_normalized) << topo.name;
+    EXPECT_EQ(est.current().throughput_bound, bound.throughput_bound) << topo.name;
+  }
+}
+
+TEST(OptEstimator, SampledEstimateConverges) {
+  const Topology topo = make_topology_by_name("dsn", 1024, 1);
+  const CsrView csr(topo.graph);
+  const PathStats exact = compute_path_stats(csr);
+
+  double prev_err = 1e9;
+  for (const std::uint32_t samples : {128u, 256u, 1024u}) {
+    EstimatorConfig cfg;
+    cfg.sample_sources = samples;
+    const SampledPathEstimator est(csr, cfg);
+    const double err =
+        std::abs(est.current().aspl - exact.avg_shortest_path) / exact.avg_shortest_path;
+    // Source means concentrate tightly (every source averages over all n-1
+    // destinations), so even an eighth of the sources lands close.
+    EXPECT_LT(err, 0.05) << "samples=" << samples;
+    EXPECT_LE(err, prev_err + 1e-12) << "samples=" << samples;
+    prev_err = err;
+  }
+  EXPECT_EQ(prev_err, 0.0);  // the full sample is the exact sweep
+}
+
+/// Ring of n nodes plus `chords` long chords — a large-diameter graph whose
+/// chord swaps still leave most trees intact relative to a DSN graph. Even
+/// here a useful chord parents Theta(n) trees, so the test pins
+/// max_affected_fraction = 1.0 to force the per-source re-sweep path (the
+/// machinery under test); the drift fallback has its own gate below.
+std::vector<std::pair<NodeId, NodeId>> ring_with_chords(NodeId n, NodeId chords) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  for (NodeId c = 0; c < chords; ++c) {
+    const NodeId u = static_cast<NodeId>((c * n) / chords);
+    edges.emplace_back(u, static_cast<NodeId>((u + n / 2 - 3 * c) % n));
+  }
+  return edges;
+}
+
+bool has_edge(const std::vector<std::pair<NodeId, NodeId>>& edges, NodeId a, NodeId b) {
+  for (const auto& [u, v] : edges)
+    if ((u == a && v == b) || (u == b && v == a)) return true;
+  return false;
+}
+
+TEST(OptEstimator, IncrementalMatchesFreshAfterSwaps) {
+  constexpr NodeId kN = 400;
+  constexpr NodeId kChords = 8;
+  std::vector<std::pair<NodeId, NodeId>> edges = ring_with_chords(kN, kChords);
+  CsrView cur(kN, edges);
+  EstimatorConfig cfg;  // exact mode: every mismatch is a real bug
+  cfg.max_affected_fraction = 1.0;  // never drift: exercise incremental re-sweeps
+  SampledPathEstimator est(cur, cfg);
+
+  Rng rng(17);
+  int accepted = 0;
+  for (int step = 0; step < 60; ++step) {
+    // Swap the far endpoints of two distinct chords (ring links stay put, so
+    // the graph stays connected and link ids keep their layout).
+    const std::size_t c1 = kN + rng.next_below(kChords);
+    std::size_t c2 = kN + rng.next_below(kChords - 1);
+    if (c2 >= c1) ++c2;
+    std::vector<std::pair<NodeId, NodeId>> next_edges = edges;
+    std::swap(next_edges[c1].second, next_edges[c2].second);
+    const auto& n1 = next_edges[c1];
+    const auto& n2 = next_edges[c2];
+    if (n1.first == n1.second || n2.first == n2.second) continue;
+    if (has_edge(edges, n1.first, n1.second) || has_edge(edges, n2.first, n2.second))
+      continue;
+
+    const std::array<std::pair<NodeId, NodeId>, 2> removed{edges[c1], edges[c2]};
+    const std::array<std::pair<NodeId, NodeId>, 2> added{n1, n2};
+    CsrView next(kN, next_edges);
+    est.count_affected(cur, removed, added);
+    est.evaluate(cur, next);
+    if (rng.next() & 1) {
+      est.discard();
+      continue;
+    }
+    est.commit();
+    edges = std::move(next_edges);
+    cur = std::move(next);
+    ++accepted;
+
+    // The committed incremental state must be byte-identical to a fresh
+    // rebuild of the same graph: estimates, per-link loads, distance rows.
+    const SampledPathEstimator fresh(cur, cfg);
+    ASSERT_EQ(est.current().sum_hops, fresh.current().sum_hops) << "step " << step;
+    ASSERT_EQ(est.current().reachable_pairs, fresh.current().reachable_pairs);
+    ASSERT_EQ(est.current().aspl, fresh.current().aspl) << "step " << step;
+    ASSERT_EQ(est.current().max_link_load, fresh.current().max_link_load)
+        << "step " << step;
+    ASSERT_EQ(est.link_loads(), fresh.link_loads()) << "step " << step;
+    for (const std::size_t src : {std::size_t{0}, std::size_t{kN / 2}, std::size_t{kN - 1}}) {
+      const auto mine = est.distance_row(src);
+      const auto theirs = fresh.distance_row(src);
+      ASSERT_TRUE(std::equal(mine.begin(), mine.end(), theirs.begin()))
+          << "step " << step << " src " << src;
+    }
+  }
+  EXPECT_GT(accepted, 10);
+  // The point of the large-diameter fixture: the incremental path must have
+  // actually run (not just the drift fallback), or this test is vacuous.
+  EXPECT_GT(est.resweeps(), 0u);
+}
+
+TEST(OptEstimator, DriftFallbackMatchesFreshOnSmallWorld) {
+  // Production-shaped case: random global swaps on a DSN graph affect most
+  // sampled trees, so evaluate() takes the full-sweep fallback. Its
+  // committed state must be just as exact.
+  const Topology topo = make_topology_by_name("dsn", 256, 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (LinkId l = 0; l < topo.graph.num_links(); ++l)
+    edges.push_back(topo.graph.link_endpoints(l));
+  CsrView cur(static_cast<NodeId>(topo.graph.num_nodes()), edges);
+  SampledPathEstimator est(cur, EstimatorConfig{});
+
+  Rng rng(23);
+  const std::size_t num_links = edges.size();
+  int accepted = 0;
+  for (int step = 0; step < 30 && accepted < 10; ++step) {
+    const std::size_t c1 = rng.next_below(num_links);
+    std::size_t c2 = rng.next_below(num_links - 1);
+    if (c2 >= c1) ++c2;
+    std::vector<std::pair<NodeId, NodeId>> next_edges = edges;
+    std::swap(next_edges[c1].second, next_edges[c2].second);
+    const auto& n1 = next_edges[c1];
+    const auto& n2 = next_edges[c2];
+    if (n1.first == n1.second || n2.first == n2.second) continue;
+    if (has_edge(edges, n1.first, n1.second) || has_edge(edges, n2.first, n2.second))
+      continue;
+    CsrView next(static_cast<NodeId>(topo.graph.num_nodes()), next_edges);
+    const std::array<std::pair<NodeId, NodeId>, 2> removed{edges[c1], edges[c2]};
+    const std::array<std::pair<NodeId, NodeId>, 2> added{n1, n2};
+    est.count_affected(cur, removed, added);
+    const EstimateView& cand = est.evaluate(cur, next);
+    if (!cand.sample_connected) {  // endpoint swaps can disconnect a DSN graph
+      est.discard();
+      continue;
+    }
+    est.commit();
+    edges = std::move(next_edges);
+    cur = std::move(next);
+    ++accepted;
+
+    const SampledPathEstimator fresh(cur, EstimatorConfig{});
+    ASSERT_EQ(est.current().aspl, fresh.current().aspl) << "step " << step;
+    ASSERT_EQ(est.link_loads(), fresh.link_loads()) << "step " << step;
+  }
+  EXPECT_GE(accepted, 10);
+  EXPECT_GT(est.full_sweeps(), 1u);  // 1 from the constructor's initial sweep
+}
+
+TEST(OptDeterminism, RepeatedRunsAreIdentical) {
+  opt::OptimizerConfig cfg;
+  cfg.seed = 7;
+  cfg.passes = 2;
+  cfg.iterations = 60;
+  cfg.plateau = 20;
+  const Topology topo = make_topology_by_name("dsn", 192, 1);
+  const opt::OptimizerResult a = opt::optimize_shortcuts(topo, cfg);
+  const opt::OptimizerResult b = opt::optimize_shortcuts(topo, cfg);
+  EXPECT_EQ(opt::optimizer_result_to_json(a).dump(), opt::optimizer_result_to_json(b).dump());
+  EXPECT_EQ(a.best_shortcuts, b.best_shortcuts);
+}
+
+/// Run the real dsn-lint binary (path injected by CMake as DSN_LINT_PATH)
+/// with an environment prefix, capturing stdout.
+std::string run_lint(const std::string& env_prefix, const std::string& args,
+                     int& exit_code) {
+  const std::string cmd =
+      env_prefix + " " + std::string(DSN_LINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) output.append(buf, got);
+  const int status = pclose(pipe);
+  exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+TEST(OptDeterminism, LintOptimizeBytesInvariantUnderDsnThreads) {
+  // The committed BENCH_opt.json front must not depend on the runner's core
+  // count: the full --json projection (front, counters, every float) is
+  // compared as bytes across thread-pool widths.
+  const std::string args =
+      "optimize --topology dsn --n 192 --passes 2 --iterations 80 --plateau 20 --json";
+  int base_code = -1;
+  const std::string base = run_lint("DSN_THREADS=1", args, base_code);
+  ASSERT_EQ(base_code, 0) << base;
+  for (const char* threads : {"4", "8"}) {
+    int code = -1;
+    const std::string out =
+        run_lint(std::string("DSN_THREADS=") + threads, args, code);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_EQ(base, out) << "DSN_THREADS=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dsn

@@ -23,10 +23,15 @@
 //                         (max-min fair-share over the analyzer's routes) and
 //                         verify convergence, the max-min invariant on every
 //                         solve, and that every flow completed
+//   dsn-lint optimize ... anneal a topology's shortcut placement with
+//                         degree-preserving double-edge swaps and report the
+//                         (cable length, ASPL, 1/throughput-bound) Pareto
+//                         front under the machine-room cable model
 //   dsn-lint stats ...    run an instrumented mini-workload through every
-//                         layer (generate / graph / analyze / drill / flow)
-//                         and report the dsn::obs metrics registry as a table
-//                         or JSON; counters are checked monotone across stages
+//                         layer (generate / graph / opt / analyze / drill /
+//                         flow) and report the dsn::obs metrics registry as a
+//                         table or JSON; counters are checked monotone across
+//                         stages
 // Subcommands exit 0 when every checked property holds, 1 when a property is
 // refuted, and 2 on usage or internal errors.
 //
@@ -42,6 +47,7 @@
 //   dsn-lint drill --topology dsn --n 64 --fail-switch 7 --ttl 4000 --json
 //   dsn-lint flow --topology dsn --n 256 --workload shuffle --json
 //   dsn-lint flow --topology random-regular --n 1024 --workload hdfs-write
+//   dsn-lint optimize --topology dsn --n 1024 --iterations 2000 --json
 //   dsn-lint stats --n 96 --json
 //   dsn-lint stats --n 96 --trace stats-trace.json
 #include <algorithm>
@@ -53,6 +59,7 @@
 #include <vector>
 
 #include "dsn/analysis/factory.hpp"
+#include "dsn/analysis/load_bound.hpp"
 #include "dsn/analysis/route_analysis.hpp"
 #include "dsn/check/validator.hpp"
 #include "dsn/common/cli.hpp"
@@ -62,8 +69,10 @@
 #include "dsn/common/thread_pool.hpp"
 #include "dsn/flow/flow_sim.hpp"
 #include "dsn/flow/workload.hpp"
+#include "dsn/graph/estimator.hpp"
 #include "dsn/graph/metrics.hpp"
 #include "dsn/obs/obs.hpp"
+#include "dsn/opt/optimizer.hpp"
 #include "dsn/routing/sim_routing.hpp"
 #include "dsn/sim/simulator.hpp"
 #include "dsn/topology/dsn.hpp"
@@ -559,6 +568,131 @@ int run_flow_command(int argc, const char* const* argv) {
 }
 
 // ---------------------------------------------------------------------------
+// Shortcut-placement optimizer subcommand
+// ---------------------------------------------------------------------------
+
+int run_optimize_command(int argc, const char* const* argv) {
+  dsn::Cli cli(
+      "dsn-lint optimize: anneal a topology's shortcut placement with "
+      "degree-preserving double-edge swaps and report the (cable length, "
+      "ASPL, 1/throughput-bound) Pareto front under the machine-room cable "
+      "model (exit 0 = optimizer ran and the front is consistent, 1 = a "
+      "front/estimator check failed, 2 = usage/internal error)");
+  cli.add_flag("topology", "dsn",
+               "factory name with shortcut links (dsn, dln, random, dsn-bidir, ...)");
+  cli.add_flag("n", "256", "switch count");
+  cli.add_flag("seed", "1", "annealing seed (also the generator seed)");
+  cli.add_flag("passes", "3", "annealing passes (restarts with cycled weights)");
+  cli.add_flag("iterations", "2000", "swap proposals per pass");
+  cli.add_flag("plateau", "100", "proposals per temperature step");
+  cli.add_flag("sample-sources", "0",
+               "estimator BFS sources (0 = auto: exact when n <= 1024, else 128)");
+  cli.add_flag("json", "false", "emit a machine-readable JSON report");
+
+  if (!cli.parse(argc, argv)) return kExitClean;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n"));
+  const dsn::Topology topo =
+      dsn::make_topology_by_name(cli.get("topology"), n, cli.get_uint("seed"));
+
+  dsn::opt::OptimizerConfig cfg;
+  cfg.seed = cli.get_uint("seed");
+  cfg.passes = static_cast<std::uint32_t>(cli.get_uint("passes"));
+  cfg.iterations = static_cast<std::uint32_t>(cli.get_uint("iterations"));
+  cfg.plateau = static_cast<std::uint32_t>(cli.get_uint("plateau"));
+  cfg.estimator.sample_sources =
+      static_cast<std::uint32_t>(cli.get_uint("sample-sources"));
+  const dsn::opt::OptimizerResult res = dsn::opt::optimize_shortcuts(topo, cfg);
+
+  // Independent view of the seed placement through the shared analysis-layer
+  // load bound, over the same sampled sources the optimizer used.
+  const dsn::CsrView seed_csr(topo.graph);
+  const std::vector<dsn::NodeId> sources =
+      dsn::sample_sources(n, res.sample_sources, cfg.estimator.seed);
+  const dsn::analyze::TreeLoadBound seed_bound =
+      dsn::analyze::compute_tree_load_bound(seed_csr, sources);
+
+  std::vector<AnalysisViolation> violations;
+  if (res.front.empty()) {
+    violations.push_back({"front-empty", "Pareto archive lost the seed point"});
+  }
+  for (std::size_t i = 1; i < res.front.size(); ++i) {
+    if (res.front[i].cable_m <= res.front[i - 1].cable_m ||
+        res.front[i].aspl >= res.front[i - 1].aspl) {
+      violations.push_back(
+          {"front-not-monotone",
+           "front[" + std::to_string(i) + "] does not trade strictly more "
+           "cable for strictly less ASPL"});
+    }
+  }
+  const bool covers_seed =
+      std::any_of(res.front.begin(), res.front.end(), [&](const auto& p) {
+        return p.cable_m <= res.seed_point.cable_m &&
+               p.aspl <= res.seed_point.aspl;
+      });
+  if (!covers_seed) {
+    violations.push_back({"front-worse-than-seed",
+                          "no front point is at least as good as the seed "
+                          "placement in both cable and ASPL"});
+  }
+  // The optimizer's seed estimate and the analyzer's bound count the same
+  // canonical trees over the same sources; any gap means the incremental
+  // estimator and the one-shot kernel diverged.
+  if (std::abs(res.seed_point.max_normalized_load - seed_bound.max_normalized) >
+      1e-12) {
+    violations.push_back(
+        {"estimator-bound-mismatch",
+         "optimizer seed max_normalized_load " +
+             std::to_string(res.seed_point.max_normalized_load) +
+             " != analysis tree-load bound " +
+             std::to_string(seed_bound.max_normalized)});
+  }
+
+  if (cli.get_bool("json")) {
+    dsn::Json doc = dsn::Json::object();
+    doc.set("command", "optimize");
+    doc.set("result", dsn::opt::optimizer_result_to_json(res));
+    doc.set("seed_load_bound", dsn::analyze::to_json(seed_bound));
+    dsn::Json vs = dsn::Json::array();
+    for (const AnalysisViolation& v : violations) {
+      dsn::Json jv = dsn::Json::object();
+      jv.set("kind", v.kind);
+      jv.set("message", v.message);
+      vs.push_back(std::move(jv));
+    }
+    doc.set("violations", std::move(vs));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    std::cout << "optimize " << res.topology << " [n=" << res.n << ", "
+              << res.shortcuts << " shortcut slots, degree "
+              << res.degree_min << ".." << res.degree_max << ", "
+              << res.sample_sources << " sampled sources]\n"
+              << "  seed   cable " << res.seed_point.cable_m << " m, aspl "
+              << res.seed_point.aspl << ", throughput bound "
+              << res.seed_point.throughput_bound << "\n"
+              << "  front  " << res.front.size() << " points (archive "
+              << res.archive_size << "): ";
+    for (std::size_t i = 0; i < res.front.size(); ++i) {
+      if (i != 0) std::cout << " | ";
+      std::cout << res.front[i].cable_m << "m@" << res.front[i].aspl;
+    }
+    std::cout << "\n  moves  " << res.proposals << " proposals, "
+              << res.accepted << " accepted, " << res.invalid << " invalid, "
+              << res.resweeps << " re-sweeps, " << res.full_sweeps
+              << " full sweeps\n"
+              << "  best   cable " << res.best_cable_m_at_seed_aspl
+              << " m at aspl <= seed (" << res.cable_saved_pct << "% saved, "
+              << (res.beats_seed ? "beats seed" : "does not beat seed")
+              << "), best aspl " << res.best_aspl << "\n";
+    for (const AnalysisViolation& v : violations)
+      std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
+    std::cout << "dsn-lint optimize: " << (violations.empty() ? "PASS" : "FAIL")
+              << " (" << violations.size() << " violations)\n";
+  }
+  return violations.empty() ? kExitClean : kExitViolations;
+}
+
+// ---------------------------------------------------------------------------
 // Observability stats subcommand
 // ---------------------------------------------------------------------------
 
@@ -600,9 +734,10 @@ dsn::Json snapshot_to_json(const dsn::obs::Snapshot& snap) {
 int run_stats_command(int argc, const char* const* argv) {
   dsn::Cli cli(
       "dsn-lint stats: drive an instrumented mini-workload through every "
-      "layer (generate -> graph -> analyze -> drill -> flow) and report the dsn::obs "
-      "metrics registry (exit 0 = instrumentation present and consistent, 1 = "
-      "a metric is missing or a counter regressed, 2 = usage/internal error)");
+      "layer (generate -> graph -> opt -> analyze -> drill -> flow) and report "
+      "the dsn::obs metrics registry (exit 0 = instrumentation present and "
+      "consistent, 1 = a metric is missing or a counter regressed, 2 = "
+      "usage/internal error)");
   cli.add_flag("n", "96", "node count of the workload topology");
   cli.add_flag("seed", "1", "traffic seed for the drill stage");
   cli.add_flag("json", "false", "emit a machine-readable JSON report");
@@ -640,6 +775,18 @@ int run_stats_command(int argc, const char* const* argv) {
   (void)dsn::compute_path_stats(csr);
   (void)dsn::eccentricities(csr);
   stages.emplace_back("graph", registry.snapshot());
+
+  // Opt stage: a short annealing run on the same instance exercises the
+  // optimizer's proposal/accept counters, drift gauge and plateau timer.
+  {
+    dsn::opt::OptimizerConfig ocfg;
+    ocfg.seed = cli.get_uint("seed");
+    ocfg.passes = 1;
+    ocfg.iterations = 60;
+    ocfg.plateau = 20;
+    (void)dsn::opt::optimize_shortcuts(d.topology(), ocfg);
+  }
+  stages.emplace_back("opt", registry.snapshot());
 
   (void)dsn::analyze::analyze_dsn_routes(d, dsn::analyze::ChannelScheme::kBasic);
   stages.emplace_back("analyze", registry.snapshot());
@@ -697,7 +844,10 @@ int run_stats_command(int argc, const char* const* argv) {
         "dsn.pool.tasks_executed", "dsn.sim.hops", "dsn.sim.hops.main",
         "dsn.sim.packet_latency_cycles", "dsn.flow.flows",
         "dsn.flow.flows_completed", "dsn.flow.epochs",
-        "dsn.flow.waterfill_rounds", "dsn.flow.fct_cycles"}) {
+        "dsn.flow.waterfill_rounds", "dsn.flow.fct_cycles",
+        "dsn.opt.proposals", "dsn.opt.accepts", "dsn.opt.resweeps",
+        "dsn.opt.full_sweeps", "dsn.opt.affected_sources", "dsn.opt.plateau_ns",
+        "dsn.opt.plateaus"}) {
     if (final_snap.find(required) == nullptr) {
       violations.push_back({"metric-missing",
                             std::string("expected metric '") + required +
@@ -758,7 +908,8 @@ int run_stats_command(int argc, const char* const* argv) {
       }
     }
     table.print(std::cout,
-                "dsn::obs metrics after generate/graph/analyze/drill (dsn-" +
+                "dsn::obs metrics after generate/graph/opt/analyze/drill/flow "
+                "(dsn-" +
                     std::to_string(n) + ")");
     for (const AnalysisViolation& v : violations)
       std::cout << "VIOLATION " << v.kind << ": " << v.message << "\n";
@@ -796,6 +947,14 @@ int main(int argc, char** argv) {
         return run_flow_command(argc - 1, argv + 1);
       } catch (const std::exception& e) {
         std::cerr << "dsn-lint flow: " << e.what() << "\n";
+        return kExitUsage;
+      }
+    }
+    if (cmd == "optimize") {
+      try {
+        return run_optimize_command(argc - 1, argv + 1);
+      } catch (const std::exception& e) {
+        std::cerr << "dsn-lint optimize: " << e.what() << "\n";
         return kExitUsage;
       }
     }
